@@ -1,0 +1,474 @@
+package deltartos
+
+// One benchmark per table and figure of the paper's evaluation (Section 5),
+// plus the ablation benches called out in DESIGN.md.  Each benchmark reports
+// the headline simulated-cycle metrics via b.ReportMetric so `go test
+// -bench=.` regenerates the paper's rows.
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltartos/internal/app"
+	"deltartos/internal/daa"
+	"deltartos/internal/dau"
+	"deltartos/internal/ddu"
+	"deltartos/internal/delta"
+	"deltartos/internal/pdda"
+	"deltartos/internal/rag"
+	"deltartos/internal/sim"
+	"deltartos/internal/socdmmu"
+)
+
+// ---- Table 1: DDU synthesis ----
+
+func BenchmarkTable1DDUSynthesis(b *testing.B) {
+	for _, size := range []struct{ p, r int }{{2, 3}, {5, 5}, {7, 7}, {10, 10}, {50, 50}} {
+		size := size
+		b.Run(sizeName(size.p, size.r), func(b *testing.B) {
+			var sr ddu.SynthResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				sr, err = ddu.Synthesize(ddu.Config{Procs: size.p, Resources: size.r})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(sr.AreaGates), "gates")
+			b.ReportMetric(float64(sr.VerilogLines), "verilog-lines")
+			b.ReportMetric(float64(sr.WorstSteps), "worst-steps")
+		})
+	}
+}
+
+// ---- Table 2 / Figure 14: DAU synthesis ----
+
+func BenchmarkTable2DAUSynthesis(b *testing.B) {
+	var sr dau.SynthResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		sr, err = dau.Synthesize(dau.Config{Procs: 5, Resources: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sr.TotalArea), "gates")
+	b.ReportMetric(float64(sr.AvoidanceSteps), "worst-steps")
+}
+
+// ---- Table 3 / Figure 7: framework generation ----
+
+func BenchmarkTable3PresetGeneration(b *testing.B) {
+	for _, name := range delta.PresetNames() {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c, err := delta.Preset(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := delta.Generate(&c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Tables 4-5 / Figure 15: deadlock detection scenario ----
+
+func BenchmarkTable5Detection(b *testing.B) {
+	b.Run("DDU", func(b *testing.B) {
+		var res app.DetectionResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunDetectionScenario(func() app.Detector {
+				d, err := app.NewHardwareDetector(5, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return d
+			})
+		}
+		report(b, res.DeadlockFound, float64(res.AppCycles), res.AvgDetectCycles)
+	})
+	b.Run("PDDA-software", func(b *testing.B) {
+		var res app.DetectionResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunDetectionScenario(func() app.Detector { return &app.SoftwareDetector{} })
+		}
+		report(b, res.DeadlockFound, float64(res.AppCycles), res.AvgDetectCycles)
+	})
+}
+
+// ---- Tables 6-7 / Figure 16: grant deadlock avoidance ----
+
+func BenchmarkTable7GdlAvoidance(b *testing.B) {
+	b.Run("DAU", func(b *testing.B) {
+		var res app.AvoidanceResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunGrantDeadlockScenario(hwBackend(b))
+		}
+		report(b, res.GDlAvoided, float64(res.AppCycles), res.AvgAlgCycles)
+	})
+	b.Run("DAA-software", func(b *testing.B) {
+		var res app.AvoidanceResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunGrantDeadlockScenario(swBackend(b))
+		}
+		report(b, res.GDlAvoided, float64(res.AppCycles), res.AvgAlgCycles)
+	})
+}
+
+// ---- Tables 8-9 / Figure 17: request deadlock avoidance ----
+
+func BenchmarkTable9RdlAvoidance(b *testing.B) {
+	b.Run("DAU", func(b *testing.B) {
+		var res app.AvoidanceResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunRequestDeadlockScenario(hwBackend(b))
+		}
+		report(b, res.RDlAvoided, float64(res.AppCycles), res.AvgAlgCycles)
+	})
+	b.Run("DAA-software", func(b *testing.B) {
+		var res app.AvoidanceResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunRequestDeadlockScenario(swBackend(b))
+		}
+		report(b, res.RDlAvoided, float64(res.AppCycles), res.AvgAlgCycles)
+	})
+}
+
+// ---- Table 10 / Figures 18-20: robot application ----
+
+func BenchmarkTable10Robot(b *testing.B) {
+	b.Run("RTOS5-software", func(b *testing.B) {
+		var res app.RobotResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunRobotScenario(app.NewRTOS5Locks, false)
+		}
+		b.ReportMetric(float64(res.OverallCycles), "sim-cycles")
+		b.ReportMetric(res.LockLatency, "lock-latency")
+		b.ReportMetric(res.LockDelay, "lock-delay")
+	})
+	b.Run("RTOS6-SoCLC", func(b *testing.B) {
+		var res app.RobotResult
+		for i := 0; i < b.N; i++ {
+			res = app.RunRobotScenario(app.NewRTOS6Locks, false)
+		}
+		b.ReportMetric(float64(res.OverallCycles), "sim-cycles")
+		b.ReportMetric(res.LockLatency, "lock-latency")
+		b.ReportMetric(res.LockDelay, "lock-delay")
+	})
+}
+
+// ---- Tables 11-12: SPLASH-2 kernels ----
+
+func BenchmarkTable11Splash(b *testing.B) {
+	splashBench(b, "glibc", app.NewGlibcAllocator)
+}
+
+func BenchmarkTable12Splash(b *testing.B) {
+	splashBench(b, "SoCDMMU", app.NewSoCDMMUAllocator)
+}
+
+func splashBench(b *testing.B, tag string, mk func() socdmmu.Allocator) {
+	kernels := []struct {
+		name string
+		run  func(func() socdmmu.Allocator) app.SplashResult
+	}{
+		{"LU", app.RunLU}, {"FFT", app.RunFFT}, {"RADIX", app.RunRadix},
+	}
+	for _, k := range kernels {
+		k := k
+		b.Run(k.name+"-"+tag, func(b *testing.B) {
+			var res app.SplashResult
+			for i := 0; i < b.N; i++ {
+				res = k.run(mk)
+			}
+			if !res.Verified {
+				b.Fatalf("%s output verification failed", k.name)
+			}
+			b.ReportMetric(float64(res.TotalCycles), "sim-cycles")
+			b.ReportMetric(float64(res.MgmtCycles), "mgmt-cycles")
+			b.ReportMetric(res.MgmtPercent, "mgmt-%")
+		})
+	}
+}
+
+// ---- Extension: parallel RADIX scaling (ext-parallel) ----
+
+func BenchmarkExtParallelRadix(b *testing.B) {
+	for _, pes := range []int{1, 2, 4} {
+		pes := pes
+		b.Run("PEs-"+itoa(pes), func(b *testing.B) {
+			var res app.ParallelResult
+			for i := 0; i < b.N; i++ {
+				res = app.RunRadixParallel(app.NewSoCDMMUAllocator, pes)
+			}
+			if !res.Verified {
+				b.Fatal("parallel radix output wrong")
+			}
+			b.ReportMetric(float64(res.TotalCycles), "sim-cycles")
+			b.ReportMetric(res.Speedup, "speedup")
+		})
+	}
+}
+
+// ---- Figures 11-13: algorithm micro-benchmarks ----
+
+func BenchmarkFig12TerminalReduction(b *testing.B) {
+	for _, size := range []int{5, 10, 50} {
+		size := size
+		g := rag.Chain(size, size)
+		b.Run(sizeName(size, size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mx := g.Matrix()
+				pdda.Reduce(mx)
+			}
+		})
+	}
+}
+
+func BenchmarkFig13DDUDetect(b *testing.B) {
+	u, err := ddu.New(ddu.Config{Procs: 50, Resources: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := u.Load(rag.Chain(50, 50).Matrix()); err != nil {
+		b.Fatal(err)
+	}
+	var res ddu.Result
+	for i := 0; i < b.N; i++ {
+		res = u.Detect()
+	}
+	b.ReportMetric(float64(res.Steps), "hw-steps")
+}
+
+// ---- Prior-work baseline comparison (Section 3.3.2 complexity ladder) ----
+
+func BenchmarkDetectorBaselines(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	graphs := make([]*rag.Graph, 32)
+	for i := range graphs {
+		graphs[i] = rag.Random(rng, 10, 10, 0.7, 0.3)
+	}
+	b.Run("PDDA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pdda.DetectGraph(graphs[i%len(graphs)])
+		}
+	})
+	b.Run("Holt", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pdda.DetectHolt(graphs[i%len(graphs)])
+		}
+	})
+	b.Run("Shoshani", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pdda.DetectShoshani(graphs[i%len(graphs)])
+		}
+	})
+	b.Run("Leibfried", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pdda.DetectLeibfried(graphs[i%len(graphs)])
+		}
+	})
+	b.Run("DFS-oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graphs[i%len(graphs)].HasCycle()
+		}
+	})
+}
+
+// ---- Ablation: packed bit-plane reduction vs naive cell-by-cell ----
+
+func BenchmarkAblationPackedVsNaive(b *testing.B) {
+	g := rag.Random(rand.New(rand.NewSource(3)), 50, 50, 0.7, 0.3)
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mx := g.Matrix()
+			pdda.Reduce(mx)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mx := g.Matrix()
+			naiveReduce(mx)
+		}
+	})
+}
+
+// naiveReduce is the straightforward cell-by-cell terminal reduction, used
+// only as the ablation baseline for the packed bit-plane implementation.
+func naiveReduce(mx *rag.Matrix) int {
+	k := 0
+	for {
+		termRows := []int{}
+		for s := 0; s < mx.M; s++ {
+			anyR, anyG := false, false
+			for t := 0; t < mx.N; t++ {
+				switch mx.Get(s, t) {
+				case rag.Request:
+					anyR = true
+				case rag.Grant:
+					anyG = true
+				}
+			}
+			if anyR != anyG {
+				termRows = append(termRows, s)
+			}
+		}
+		termCols := []int{}
+		for t := 0; t < mx.N; t++ {
+			anyR, anyG := false, false
+			for s := 0; s < mx.M; s++ {
+				switch mx.Get(s, t) {
+				case rag.Request:
+					anyR = true
+				case rag.Grant:
+					anyG = true
+				}
+			}
+			if anyR != anyG {
+				termCols = append(termCols, t)
+			}
+		}
+		if len(termRows) == 0 && len(termCols) == 0 {
+			return k
+		}
+		for _, s := range termRows {
+			mx.ClearRow(s)
+		}
+		for _, t := range termCols {
+			mx.ClearColumn(t)
+		}
+		k++
+	}
+}
+
+// ---- Ablation: DAU livelock threshold sensitivity ----
+
+func BenchmarkAblationDAULivelockThreshold(b *testing.B) {
+	for _, thr := range []int{1, 3, 6} {
+		thr := thr
+		b.Run(thresholdName(thr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				u, err := dau.New(dau.Config{Procs: 4, Resources: 4, LivelockThreshold: thr})
+				if err != nil {
+					b.Fatal(err)
+				}
+				driveContention(b, u)
+			}
+		})
+	}
+}
+
+// driveContention replays a short high-contention command tape.
+func driveContention(b *testing.B, u *dau.Unit) {
+	for p := 0; p < 4; p++ {
+		u.SetPriority(p, daa.Priority(4-p)) // inverted priorities provoke give-ups
+	}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 120; step++ {
+		p, q := rng.Intn(4), rng.Intn(4)
+		if u.Holder(q) == p {
+			if _, _, err := u.Release(p, q); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		st, _, err := u.Request(p, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.GiveUp {
+			for _, h := range u.Avoider().Graph().HeldBy(p) {
+				if _, _, err := u.Release(p, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// ---- Ablation: bus arbitration policy under contention ----
+
+func BenchmarkAblationBusArbitration(b *testing.B) {
+	run := func(policy sim.Arbitration) (end sim.Cycles, stall sim.Cycles) {
+		s := sim.New()
+		s.Bus.SetArbitration(policy)
+		for pe := 0; pe < 4; pe++ {
+			s.Spawn("pe", pe, func(p *sim.Proc) {
+				for i := 0; i < 200; i++ {
+					s.Bus.Transact(p, 4)
+					p.Delay(2)
+				}
+			})
+		}
+		return s.Run(), s.Bus.StallCycles
+	}
+	b.Run("FCFS", func(b *testing.B) {
+		var end, stall sim.Cycles
+		for i := 0; i < b.N; i++ {
+			end, stall = run(sim.ArbFCFS)
+		}
+		b.ReportMetric(float64(end), "sim-cycles")
+		b.ReportMetric(float64(stall), "stall-cycles")
+	})
+	b.Run("priority", func(b *testing.B) {
+		var end, stall sim.Cycles
+		for i := 0; i < b.N; i++ {
+			end, stall = run(sim.ArbPriority)
+		}
+		b.ReportMetric(float64(end), "sim-cycles")
+		b.ReportMetric(float64(stall), "stall-cycles")
+	})
+}
+
+// ---- helpers ----
+
+func sizeName(p, r int) string {
+	return itoa(p) + "x" + itoa(r)
+}
+
+func thresholdName(t int) string { return "threshold-" + itoa(t) }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}
+
+func report(b *testing.B, ok bool, appCycles, algCycles float64) {
+	b.Helper()
+	if !ok {
+		b.Fatal("scenario outcome check failed")
+	}
+	b.ReportMetric(appCycles, "sim-cycles")
+	b.ReportMetric(algCycles, "alg-cycles")
+}
+
+func hwBackend(b *testing.B) func() app.AvoidanceBackend {
+	return func() app.AvoidanceBackend {
+		be, err := app.NewHardwareAvoidance(5, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return be
+	}
+}
+
+func swBackend(b *testing.B) func() app.AvoidanceBackend {
+	return func() app.AvoidanceBackend {
+		be, err := app.NewSoftwareAvoidance(5, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return be
+	}
+}

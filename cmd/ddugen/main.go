@@ -1,0 +1,90 @@
+// Command ddugen generates a Deadlock Detection Unit or Deadlock Avoidance
+// Unit of a given size and reports its synthesis summary (the Table 1 /
+// Table 2 rows for arbitrary sizes).
+//
+// Usage:
+//
+//	ddugen -procs 5 -resources 5              # synthesis summary
+//	ddugen -procs 5 -resources 5 -verilog     # emit the Verilog
+//	ddugen -procs 5 -resources 5 -dau         # DAU instead of DDU
+//	ddugen -procs 5 -resources 5 -vcd ddu.vcd # waveform of a detection run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deltartos/internal/dau"
+	"deltartos/internal/ddu"
+	"deltartos/internal/rag"
+)
+
+func main() {
+	procs := flag.Int("procs", 5, "number of processes (matrix columns)")
+	resources := flag.Int("resources", 5, "number of resources (matrix rows)")
+	emit := flag.Bool("verilog", false, "emit generated Verilog to stdout")
+	wantDAU := flag.Bool("dau", false, "generate the DAU (DDU + avoidance FSM)")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of a worst-case detection run to this file")
+	flag.Parse()
+
+	if *vcdPath != "" {
+		cfg := ddu.Config{Procs: *procs, Resources: *resources}
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		res, err := ddu.DumpDetectionVCD(cfg, rag.Chain(*resources, *procs).Matrix(), f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: worst-case chain detection, %d iterations, %d steps, deadlock=%v\n",
+			*vcdPath, res.Iterations, res.Steps, res.Deadlock)
+		return
+	}
+
+	if *wantDAU {
+		cfg := dau.Config{Procs: *procs, Resources: *resources}
+		if *emit {
+			f, err := dau.Generate(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(f.Emit())
+			return
+		}
+		sr, err := dau.Synthesize(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("DAU %dx%d: %d lines of Verilog, %d NAND2-equivalent gates\n",
+			*procs, *resources, sr.TotalLines, sr.TotalArea)
+		fmt.Printf("  DDU part:    %d lines, %d gates, %d worst-case detection steps\n",
+			sr.DDULines, sr.DDUArea, sr.DDUSteps)
+		fmt.Printf("  others:      %d lines, %d gates\n", sr.OtherLines, sr.OtherArea)
+		fmt.Printf("  worst-case avoidance steps: %d\n", sr.AvoidanceSteps)
+		return
+	}
+
+	cfg := ddu.Config{Procs: *procs, Resources: *resources}
+	if *emit {
+		f, err := ddu.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(f.Emit())
+		return
+	}
+	sr, err := ddu.Synthesize(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("DDU %dx%d: %d lines of Verilog, %d NAND2-equivalent gates, %d worst-case iterations\n",
+		*procs, *resources, sr.VerilogLines, sr.AreaGates, sr.WorstSteps)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddugen:", err)
+	os.Exit(1)
+}

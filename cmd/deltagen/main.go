@@ -1,0 +1,98 @@
+// Command deltagen is the δ framework generator front end (the command-line
+// equivalent of the GUI of Figure 3): it takes a configuration — either one
+// of the Table 3 presets or a JSON file — and generates the Verilog top
+// file, the selected hardware RTOS component files and the Atalanta software
+// configuration header into an output directory.
+//
+// Usage:
+//
+//	deltagen -preset RTOS6 -out out/
+//	deltagen -config myconfig.json -out out/
+//	deltagen -preset RTOS4 -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"deltartos/internal/delta"
+)
+
+func main() {
+	preset := flag.String("preset", "", "Table 3 preset name (RTOS1..RTOS7)")
+	config := flag.String("config", "", "JSON configuration file")
+	out := flag.String("out", "", "output directory for generated files")
+	print := flag.Bool("print", false, "print the top file to stdout instead of writing files")
+	flag.Parse()
+
+	cfg, err := loadConfig(*preset, *config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deltagen:", err)
+		os.Exit(2)
+	}
+	gen, err := delta.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deltagen:", err)
+		os.Exit(1)
+	}
+	if *print || *out == "" {
+		fmt.Print(gen.Top.Emit())
+		return
+	}
+	if err := writeFiles(cfg, gen, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "deltagen:", err)
+		os.Exit(1)
+	}
+}
+
+func loadConfig(preset, config string) (*delta.Config, error) {
+	switch {
+	case preset != "" && config != "":
+		return nil, fmt.Errorf("use -preset or -config, not both")
+	case preset != "":
+		c, err := delta.Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		return &c, nil
+	case config != "":
+		data, err := os.ReadFile(config)
+		if err != nil {
+			return nil, err
+		}
+		return delta.Load(data)
+	}
+	return nil, fmt.Errorf("need -preset or -config")
+}
+
+func writeFiles(cfg *delta.Config, gen *delta.GeneratedSystem, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if err := write("Top.v", gen.Top.Emit()); err != nil {
+		return err
+	}
+	for comp, f := range gen.Components {
+		if err := write(string(comp)+".v", f.Emit()); err != nil {
+			return err
+		}
+	}
+	if err := write("atalanta_cfg.h", gen.RTOSHeader); err != nil {
+		return err
+	}
+	data, err := cfg.Save()
+	if err != nil {
+		return err
+	}
+	return write("config.json", string(data)+"\n")
+}

@@ -1,0 +1,93 @@
+// Command deltasim reproduces the paper's evaluation: it runs the registered
+// experiment for every table and figure of Section 5 and prints the measured
+// rows next to the published values.
+//
+// Usage:
+//
+//	deltasim -list
+//	deltasim -exp table45
+//	deltasim -all
+//	deltasim -exp fig20 -vcd robot.vcd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deltartos/internal/app"
+	"deltartos/internal/experiments"
+	"deltartos/internal/rtos"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "run one experiment by id (e.g. table1, fig15)")
+	all := flag.Bool("all", false, "run every experiment")
+	vcdPath := flag.String("vcd", "", "with -exp fig20: also write the robot schedule waveform to this file")
+	flag.Parse()
+
+	if *vcdPath != "" && *exp == "fig20" {
+		if err := writeRobotVCD(*vcdPath); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim:", err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+	case *exp != "":
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "deltasim: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := runOne(e); err != nil {
+			fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	case *all:
+		failed := 0
+		for _, e := range experiments.All() {
+			if err := runOne(e); err != nil {
+				fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", e.ID, err)
+				failed++
+			}
+			fmt.Println()
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeRobotVCD re-runs the RTOS6 robot scenario with tracing and dumps the
+// Figure 20 schedule as a waveform.
+func writeRobotVCD(path string) error {
+	res := app.RunRobotScenario(app.NewRTOS6Locks, true)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rtos.WriteScheduleVCD(f, res.Trace, 4); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d trace events\n", path, len(res.Trace))
+	return nil
+}
+
+func runOne(e experiments.Experiment) error {
+	res, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(res))
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package deltartos is a reproduction of "Hardware/Software Partitioning of
+// Operating Systems: Focus on Deadlock Detection and Avoidance" (Lee &
+// Mooney, DATE 2003): the δ hardware/software RTOS design framework, its
+// hardware RTOS components (DDU, DAU, SoCLC, SoCDMMU), the Atalanta-like
+// multiprocessor RTOS, and a cycle-counted MPSoC simulator that regenerates
+// every table and figure of the paper's evaluation.
+//
+// The library lives under internal/; the runnable entry points are:
+//
+//	cmd/deltasim  — run any table/figure experiment (-list, -exp, -all)
+//	cmd/deltagen  — generate a configured RTOS/MPSoC (Top.v, components, header)
+//	cmd/ddugen    — generate DDU/DAU Verilog and synthesis summaries
+//	examples/     — quickstart, avoidance, robot, splash
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package deltartos

@@ -1,0 +1,3 @@
+module deltartos
+
+go 1.22

@@ -1,0 +1,463 @@
+package app
+
+import (
+	"fmt"
+
+	"deltartos/internal/daa"
+	"deltartos/internal/dau"
+	"deltartos/internal/rtos"
+	"deltartos/internal/sim"
+)
+
+// AvoidanceBackend abstracts WHERE the deadlock avoidance algorithm runs:
+// DAA in software on the invoking PE (RTOS3) or the DAU hardware unit
+// (RTOS4).  Both wrap identical algorithm logic; only the cost differs.
+type AvoidanceBackend interface {
+	Name() string
+	SetPriority(p, prio int)
+	// RequestOp performs a request event and returns the decision, the
+	// process asked to act (-1 if none) and the algorithm cost in cycles.
+	RequestOp(p, q int) (daa.RequestResult, sim.Cycles)
+	// ReleaseOp performs a release event and returns who was granted the
+	// resource (-1 none) plus the algorithm cost.
+	ReleaseOp(p, q int) (daa.ReleaseResult, sim.Cycles)
+	Holder(q int) int
+	Held(p int) []int
+	Invocations() int
+	TotalCost() sim.Cycles
+	Deadlocked() bool
+}
+
+// fixed software overhead per DAA invocation beyond detection: argument
+// marshalling, case dispatch, queue bookkeeping in shared memory.
+const daaSoftwareOverhead = 230
+
+// SoftwareAvoidance is DAA in software (RTOS3).
+type SoftwareAvoidance struct {
+	av    *daa.Avoider
+	calls int
+	total sim.Cycles
+}
+
+// NewSoftwareAvoidance builds the RTOS3 backend.
+func NewSoftwareAvoidance(procs, resources int) (*SoftwareAvoidance, error) {
+	av, err := daa.New(daa.Config{Procs: procs, Resources: resources})
+	if err != nil {
+		return nil, err
+	}
+	return &SoftwareAvoidance{av: av}, nil
+}
+
+// Name implements AvoidanceBackend.
+func (b *SoftwareAvoidance) Name() string { return "DAA in software" }
+
+// SetPriority implements AvoidanceBackend.
+func (b *SoftwareAvoidance) SetPriority(p, prio int) {
+	b.av.SetPriority(p, daa.Priority(prio))
+}
+
+func (b *SoftwareAvoidance) charge(before daa.Stats) sim.Cycles {
+	after := b.av.Stats()
+	det := after.Detection
+	det.CellReads -= before.Detection.CellReads
+	det.CellWrites -= before.Detection.CellWrites
+	det.Ops -= before.Detection.Ops
+	cost := sim.SoftwareDetectCycles(det) + daaSoftwareOverhead
+	b.calls++
+	b.total += cost
+	return cost
+}
+
+// RequestOp implements AvoidanceBackend.
+func (b *SoftwareAvoidance) RequestOp(p, q int) (daa.RequestResult, sim.Cycles) {
+	before := b.av.Stats()
+	res, err := b.av.Request(p, q)
+	if err != nil {
+		panic("app: " + err.Error())
+	}
+	return res, b.charge(before)
+}
+
+// ReleaseOp implements AvoidanceBackend.
+func (b *SoftwareAvoidance) ReleaseOp(p, q int) (daa.ReleaseResult, sim.Cycles) {
+	before := b.av.Stats()
+	res, err := b.av.Release(p, q)
+	if err != nil {
+		panic("app: " + err.Error())
+	}
+	return res, b.charge(before)
+}
+
+// Holder implements AvoidanceBackend.
+func (b *SoftwareAvoidance) Holder(q int) int { return b.av.Holder(q) }
+
+// Held implements AvoidanceBackend.
+func (b *SoftwareAvoidance) Held(p int) []int { return b.av.Graph().HeldBy(p) }
+
+// Invocations implements AvoidanceBackend.
+func (b *SoftwareAvoidance) Invocations() int { return b.calls }
+
+// TotalCost implements AvoidanceBackend.
+func (b *SoftwareAvoidance) TotalCost() sim.Cycles { return b.total }
+
+// Deadlocked implements AvoidanceBackend.
+func (b *SoftwareAvoidance) Deadlocked() bool { return b.av.Deadlocked() }
+
+// HardwareAvoidance is the DAU (RTOS4).
+type HardwareAvoidance struct {
+	u     *dau.Unit
+	calls int
+	total sim.Cycles
+}
+
+// NewHardwareAvoidance builds the RTOS4 backend.
+func NewHardwareAvoidance(procs, resources int) (*HardwareAvoidance, error) {
+	u, err := dau.New(dau.Config{Procs: procs, Resources: resources})
+	if err != nil {
+		return nil, err
+	}
+	return &HardwareAvoidance{u: u}, nil
+}
+
+// Name implements AvoidanceBackend.
+func (b *HardwareAvoidance) Name() string { return "DAU (hardware)" }
+
+// SetPriority implements AvoidanceBackend.
+func (b *HardwareAvoidance) SetPriority(p, prio int) {
+	b.u.SetPriority(p, daa.Priority(prio))
+}
+
+// RequestOp implements AvoidanceBackend.
+func (b *HardwareAvoidance) RequestOp(p, q int) (daa.RequestResult, sim.Cycles) {
+	st, steps, err := b.u.Request(p, q)
+	if err != nil {
+		panic("app: " + err.Error())
+	}
+	cost := sim.DAUInvokeCycles(steps)
+	b.calls++
+	b.total += cost
+	res := daa.RequestResult{RDl: st.RDl, Livelock: st.Livelock, AskedProcess: st.WhichProcess}
+	switch {
+	case st.Successful:
+		res.Decision = daa.Granted
+	case st.GiveUp:
+		res.Decision = daa.GiveUpRequested
+	case st.Pending && st.RDl:
+		res.Decision = daa.PendingOwnerAsked
+	default:
+		res.Decision = daa.Pending
+		res.AskedProcess = -1
+	}
+	return res, cost
+}
+
+// ReleaseOp implements AvoidanceBackend.
+func (b *HardwareAvoidance) ReleaseOp(p, q int) (daa.ReleaseResult, sim.Cycles) {
+	st, steps, err := b.u.Release(p, q)
+	if err != nil {
+		panic("app: " + err.Error())
+	}
+	cost := sim.DAUInvokeCycles(steps)
+	b.calls++
+	b.total += cost
+	return daa.ReleaseResult{GrantedTo: st.GrantedTo, GDl: st.GDl}, cost
+}
+
+// Holder implements AvoidanceBackend.
+func (b *HardwareAvoidance) Holder(q int) int { return b.u.Holder(q) }
+
+// Held implements AvoidanceBackend.
+func (b *HardwareAvoidance) Held(p int) []int { return b.u.Avoider().Graph().HeldBy(p) }
+
+// Invocations implements AvoidanceBackend.
+func (b *HardwareAvoidance) Invocations() int { return b.calls }
+
+// TotalCost implements AvoidanceBackend.
+func (b *HardwareAvoidance) TotalCost() sim.Cycles { return b.total }
+
+// Deadlocked implements AvoidanceBackend.
+func (b *HardwareAvoidance) Deadlocked() bool { return b.u.Avoider().Deadlocked() }
+
+// AvoidanceWorld plumbs an avoidance backend into the running tasks:
+// blocking requests, grant wakeups, and give-up compliance performed by the
+// RTOS mechanism of Assumption 3.
+type AvoidanceWorld struct {
+	S       *sim.Sim
+	K       *rtos.Kernel
+	B       AvoidanceBackend
+	tasks   []*rtos.Task
+	devices []*sim.Device
+	// GiveUps counts give-up compliance actions; Reacquires counts
+	// re-requests issued after giving a resource up.
+	GiveUps int
+}
+
+// NewAvoidanceWorld builds a 4-PE world with the standard devices.
+func NewAvoidanceWorld(b AvoidanceBackend) *AvoidanceWorld {
+	s := sim.New()
+	w := &AvoidanceWorld{S: s, K: rtos.NewKernel(s, 4), B: b, devices: sim.StandardDevices(s)}
+	w.tasks = make([]*rtos.Task, 4)
+	return w
+}
+
+// Device returns resource q's device.
+func (w *AvoidanceWorld) Device(q int) *sim.Device { return w.devices[q] }
+
+// Request asks for q on behalf of p, blocking until granted.  If the
+// avoider demands a give-up from p, the resources are released (flowing to
+// safe waiters) and the request retried — the compliance loop of the
+// scenario applications.
+func (w *AvoidanceWorld) Request(c *rtos.TaskCtx, p, q int) {
+	for {
+		res, cost := w.B.RequestOp(p, q)
+		c.ChargeCompute(cost)
+		switch res.Decision {
+		case daa.Granted:
+			return
+		case daa.Pending, daa.PendingOwnerAsked:
+			if res.Decision == daa.PendingOwnerAsked {
+				w.askOwner(res.AskedProcess, q)
+			}
+			for w.B.Holder(q) != p {
+				c.Park(fmt.Sprintf("avoid:%s", w.devices[q].Name))
+			}
+			return
+		case daa.GiveUpRequested:
+			// Comply: release everything held (each release may hand the
+			// resource to a waiter), back off, retry.
+			w.GiveUps++
+			for _, h := range w.B.Held(p) {
+				w.release(c, p, h)
+			}
+			c.Compute(150) // checkpoint/restart cost before retrying
+		}
+	}
+}
+
+// RequestPair asks for two resources in one batch (the "p3 requests IDCT
+// and WI simultaneously" pattern of Tables 4/6): both request events are
+// issued while the process is still running, then the process blocks until
+// it holds both.
+func (w *AvoidanceWorld) RequestPair(c *rtos.TaskCtx, p, qa, qb int) {
+	pending := make([]int, 0, 2)
+	for _, q := range []int{qa, qb} {
+		for {
+			res, cost := w.B.RequestOp(p, q)
+			c.ChargeCompute(cost)
+			if res.Decision == daa.GiveUpRequested {
+				w.GiveUps++
+				for _, h := range w.B.Held(p) {
+					w.release(c, p, h)
+				}
+				c.Compute(150)
+				continue
+			}
+			if res.Decision == daa.PendingOwnerAsked {
+				w.askOwner(res.AskedProcess, q)
+			}
+			if res.Decision != daa.Granted {
+				pending = append(pending, q)
+			}
+			break
+		}
+	}
+	for _, q := range pending {
+		for w.B.Holder(q) != p {
+			c.Park(fmt.Sprintf("avoid:%s", w.devices[q].Name))
+		}
+	}
+}
+
+// Release frees q held by p and wakes whoever the avoider granted it to.
+func (w *AvoidanceWorld) Release(c *rtos.TaskCtx, p, q int) {
+	w.release(c, p, q)
+}
+
+func (w *AvoidanceWorld) release(c *rtos.TaskCtx, p, q int) {
+	res, cost := w.B.ReleaseOp(p, q)
+	c.ChargeCompute(cost)
+	if res.GrantedTo >= 0 && w.tasks[res.GrantedTo] != nil {
+		w.K.Unpark(w.tasks[res.GrantedTo])
+	}
+}
+
+// askOwner models the DAU/RTOS asking process `owner` to give up resource q
+// (Assumption 3): after an interrupt-and-handler delay, the owner's
+// resources are released on its behalf; the owner re-requests the resource
+// later from its own control flow.
+func (w *AvoidanceWorld) askOwner(owner, q int) {
+	if owner < 0 {
+		return
+	}
+	w.GiveUps++
+	w.S.Spawn(fmt.Sprintf("giveup.p%d.q%d", owner+1, q+1), -1, func(p *sim.Proc) {
+		p.Delay(sim.InterruptEntryCycles + 60) // ISR + checkpoint
+		if w.B.Holder(q) != owner {
+			return // already released
+		}
+		res, cost := w.B.ReleaseOp(owner, q)
+		p.Delay(cost)
+		if res.GrantedTo >= 0 && w.tasks[res.GrantedTo] != nil {
+			w.K.Unpark(w.tasks[res.GrantedTo])
+		}
+		// The owner will need the resource again: queue its re-request.
+		rr, cost2 := w.B.RequestOp(owner, q)
+		p.Delay(cost2)
+		if rr.Decision == daa.Granted && w.tasks[owner] != nil {
+			w.K.Unpark(w.tasks[owner])
+		}
+	})
+}
+
+// WaitRegranted parks task p until it holds q again (used by a process that
+// was asked to give q up and whose re-request was queued by askOwner).
+func (w *AvoidanceWorld) WaitRegranted(c *rtos.TaskCtx, p, q int) {
+	for w.B.Holder(q) != p {
+		c.Park(fmt.Sprintf("regrant:%s", w.devices[q].Name))
+	}
+}
+
+// AvoidanceResult is one column of Table 7 or Table 9.
+type AvoidanceResult struct {
+	Mechanism    string
+	Invocations  int
+	AvgAlgCycles float64
+	AppCycles    sim.Cycles
+	GDlAvoided   bool
+	RDlAvoided   bool
+	Completed    bool
+}
+
+// RunGrantDeadlockScenario executes Application Example I (Table 6 /
+// Figure 16): the sequence that would end in grant deadlock, completed
+// safely by the avoider.  Returns the Table 7 measurements.
+func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult {
+	b := mkBackend()
+	w := NewAvoidanceWorld(b)
+	for p := 0; p < 4; p++ {
+		b.SetPriority(p, p+1)
+	}
+	var gdlSeen bool
+	done := make([]bool, 4)
+
+	// p1: video capture + IDCT over one frame (t1..t4).
+	w.tasks[0] = w.K.CreateTask("p1", 0, 1, 0, func(c *rtos.TaskCtx) {
+		w.RequestPair(c, 0, resVI, resIDCT) // t1: q1, q2 granted
+		c.RunOn(w.Device(resVI), viReceiveCycles)
+		c.RunOn(w.Device(resIDCT), sim.IDCTFrameCycles)
+		w.Release(c, 0, resVI)   // t4
+		w.Release(c, 0, resIDCT) // t4/t5: DAU detects potential G-dl here
+		done[0] = true
+	})
+	// p3: frame conversion + wireless send (t2, t6).
+	w.tasks[2] = w.K.CreateTask("p3", 2, 3, p3RequestAt, func(c *rtos.TaskCtx) {
+		w.RequestPair(c, 2, resIDCT, resWI) // t2: q4 granted, q2 pends
+		c.RunOn(w.Device(resIDCT), 1600)
+		c.RunOn(w.Device(resWI), 1200)
+		w.Release(c, 2, resIDCT) // t6
+		w.Release(c, 2, resWI)   // t6
+		done[2] = true
+	})
+	// p2: competing pipeline (t3, t7, t8).
+	w.tasks[1] = w.K.CreateTask("p2", 1, 2, p2RequestAt, func(c *rtos.TaskCtx) {
+		w.RequestPair(c, 1, resIDCT, resWI) // t3: both pend
+		c.RunOn(w.Device(resIDCT), 1600)
+		c.RunOn(w.Device(resWI), 1200)
+		w.Release(c, 1, resIDCT) // t8
+		w.Release(c, 1, resWI)
+		done[1] = true
+	})
+
+	end := w.S.Run()
+	_ = end
+	// G-dl avoided iff the avoidance ran without the system deadlocking and
+	// all three pipelines completed.
+	gdlSeen = done[0] && done[1] && done[2] && !b.Deadlocked()
+	last := lastFinish(w.K)
+	return AvoidanceResult{
+		Mechanism:    b.Name(),
+		Invocations:  b.Invocations(),
+		AvgAlgCycles: avg(b.TotalCost(), b.Invocations()),
+		AppCycles:    last,
+		GDlAvoided:   gdlSeen,
+		Completed:    done[0] && done[1] && done[2],
+	}
+}
+
+// RunRequestDeadlockScenario executes Application Example II (Table 8 /
+// Figure 17): the sequence that would end in request deadlock.  Returns the
+// Table 9 measurements.
+func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult {
+	b := mkBackend()
+	w := NewAvoidanceWorld(b)
+	for p := 0; p < 4; p++ {
+		b.SetPriority(p, p+1)
+	}
+	done := make([]bool, 4)
+	var rdlSeen bool
+
+	// p1 needs q1 (VI) and q2 (IDCT).
+	w.tasks[0] = w.K.CreateTask("p1", 0, 1, 0, func(c *rtos.TaskCtx) {
+		w.Request(c, 0, resVI) // t1
+		c.RunOn(w.Device(resVI), 5200)
+		w.Request(c, 0, resIDCT) // t6: R-dl detected; p2 asked to give up q2
+		c.RunOn(w.Device(resVI), 2800)
+		c.RunOn(w.Device(resIDCT), sim.IDCTFrameCycles)
+		w.Release(c, 0, resVI)   // t8
+		w.Release(c, 0, resIDCT) // t8
+		done[0] = true
+	})
+	// p2 needs q2 (IDCT) and q3 (DSP).
+	w.tasks[1] = w.K.CreateTask("p2", 1, 2, 900, func(c *rtos.TaskCtx) {
+		w.Request(c, 1, resIDCT) // t2
+		c.Compute(2600)
+		w.Request(c, 1, resDSP) // t4: pends
+		// t6/t7: while blocked, p2 is asked to give up the IDCT; the RTOS
+		// mechanism releases it and re-requests it on p2's behalf.
+		w.WaitRegranted(c, 1, resIDCT) // back when p1 finishes (t8)
+		c.RunOn(w.Device(resIDCT), 2400)
+		c.RunOn(w.Device(resDSP), 2400)
+		w.Release(c, 1, resIDCT) // t10
+		w.Release(c, 1, resDSP)
+		done[1] = true
+	})
+	// p3 needs q3 (DSP) and q1 (VI).
+	w.tasks[2] = w.K.CreateTask("p3", 2, 3, 1800, func(c *rtos.TaskCtx) {
+		w.Request(c, 2, resDSP) // t3
+		c.Compute(2600)
+		w.Request(c, 2, resVI) // t5: pends
+		c.RunOn(w.Device(resDSP), 2400)
+		c.RunOn(w.Device(resVI), 2400)
+		w.Release(c, 2, resVI)  // t9
+		w.Release(c, 2, resDSP) // t9
+		done[2] = true
+	})
+
+	w.S.Run()
+	rdlSeen = done[0] && done[1] && done[2] && !b.Deadlocked()
+	return AvoidanceResult{
+		Mechanism:    b.Name(),
+		Invocations:  b.Invocations(),
+		AvgAlgCycles: avg(b.TotalCost(), b.Invocations()),
+		AppCycles:    lastFinish(w.K),
+		RDlAvoided:   rdlSeen,
+		Completed:    done[0] && done[1] && done[2],
+	}
+}
+
+func avg(total sim.Cycles, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+func lastFinish(k *rtos.Kernel) sim.Cycles {
+	var last sim.Cycles
+	for _, t := range k.Tasks() {
+		if ft, ok := t.Finished(); ok && ft > last {
+			last = ft
+		}
+	}
+	return last
+}

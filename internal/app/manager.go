@@ -1,0 +1,294 @@
+// Package app implements the paper's evaluation applications on top of the
+// simulated MPSoC: the Jini-inspired deadlock-detection scenario (Tables
+// 4–5), the grant-deadlock and request-deadlock avoidance scenarios (Tables
+// 6–9), the robot control application (Table 10, Figures 18–20) and the
+// SPLASH-2-style LU/FFT/RADIX benchmarks (Tables 11–12).
+package app
+
+import (
+	"fmt"
+
+	"deltartos/internal/ddu"
+	"deltartos/internal/pdda"
+	"deltartos/internal/rag"
+	"deltartos/internal/rtos"
+	"deltartos/internal/sim"
+)
+
+// Detector abstracts WHERE deadlock detection runs: software PDDA on the
+// requesting PE (RTOS1) or the DDU hardware unit (RTOS2).
+type Detector interface {
+	// Invoke runs detection over the RAG from task context c, charging the
+	// caller whatever the mechanism costs, and returns the verdict plus the
+	// cycles charged (the per-invocation "algorithm run time" of Table 5).
+	Invoke(c *rtos.TaskCtx, g *rag.Graph) (deadlock bool, cost sim.Cycles)
+	// Name labels the mechanism in reports.
+	Name() string
+}
+
+// SoftwareDetector runs PDDA in software: every matrix cell access is an
+// uncached shared-memory access from the invoking PE.  Pad, when positive,
+// is the compiled-in system maximum (the paper's RTOS1 scans the full 5x5
+// matrix regardless of how many processes are live).
+type SoftwareDetector struct {
+	Pad         int
+	Invocations int
+	TotalCycles sim.Cycles
+}
+
+// Name implements Detector.
+func (d *SoftwareDetector) Name() string { return "PDDA in software" }
+
+// Invoke implements Detector.
+func (d *SoftwareDetector) Invoke(c *rtos.TaskCtx, g *rag.Graph) (bool, sim.Cycles) {
+	mx := g.Matrix()
+	if d.Pad > mx.M || d.Pad > mx.N {
+		m, n := max(d.Pad, mx.M), max(d.Pad, mx.N)
+		padded := rag.NewMatrix(m, n)
+		for s := 0; s < mx.M; s++ {
+			for t := 0; t < mx.N; t++ {
+				if cell := mx.Get(s, t); cell != rag.None {
+					padded.Set(s, t, cell)
+				}
+			}
+		}
+		mx = padded
+	}
+	dead, st := pdda.Detect(mx)
+	cost := sim.SoftwareDetectCycles(st)
+	c.ChargeCompute(cost)
+	d.Invocations++
+	d.TotalCycles += cost
+	return dead, cost
+}
+
+// Average returns the mean per-invocation cost.
+func (d *SoftwareDetector) Average() float64 {
+	if d.Invocations == 0 {
+		return 0
+	}
+	return float64(d.TotalCycles) / float64(d.Invocations)
+}
+
+// HardwareDetector drives a DDU: the matrix is kept in the unit by the
+// resource manager (one bus write per edge change, already part of the event
+// cost), so detection itself is a start plus a status read.
+type HardwareDetector struct {
+	Unit        *ddu.Unit
+	Invocations int
+	TotalCycles sim.Cycles
+}
+
+// NewHardwareDetector sizes a DDU for the scenario.
+func NewHardwareDetector(procs, resources int) (*HardwareDetector, error) {
+	u, err := ddu.New(ddu.Config{Procs: procs, Resources: resources})
+	if err != nil {
+		return nil, err
+	}
+	return &HardwareDetector{Unit: u}, nil
+}
+
+// Name implements Detector.
+func (d *HardwareDetector) Name() string { return "DDU (hardware)" }
+
+// Invoke implements Detector.
+func (d *HardwareDetector) Invoke(c *rtos.TaskCtx, g *rag.Graph) (bool, sim.Cycles) {
+	if err := d.Unit.Load(g.Matrix()); err != nil {
+		panic("app: ddu size mismatch: " + err.Error())
+	}
+	res := d.Unit.Detect()
+	cost := sim.DDUInvokeCycles(res.Steps)
+	c.ChargeCompute(cost)
+	d.Invocations++
+	d.TotalCycles += cost
+	return res.Deadlock, cost
+}
+
+// Average returns the mean per-invocation cost.
+func (d *HardwareDetector) Average() float64 {
+	if d.Invocations == 0 {
+		return 0
+	}
+	return float64(d.TotalCycles) / float64(d.Invocations)
+}
+
+// ResourceManager is the RTOS resource-allocation service of RTOS1/RTOS2:
+// it tracks the RAG, grants free resources immediately, queues requests for
+// busy ones by priority, and invokes deadlock detection on every allocation
+// event.  It performs NO avoidance — that is the point of the detection
+// experiment: the system is allowed to reach deadlock, and the question is
+// how quickly it is noticed.
+type ResourceManager struct {
+	k       *rtos.Kernel
+	det     Detector
+	g       *rag.Graph
+	prio    []int // process priority (lower = higher)
+	waiters map[int][]*waiter
+	devices []*sim.Device
+	mu      *rtos.Mutex
+	// DeadlockAt is the time detection first reported a deadlock (0 if
+	// never); DeadlockSeen reports whether it fired.
+	DeadlockAt   sim.Cycles
+	DeadlockSeen bool
+	// Events counts allocation events (requests, grants, releases).
+	Events int
+}
+
+type waiter struct {
+	proc int
+	t    *rtos.Task
+	ctx  *rtos.TaskCtx
+}
+
+// Serialize guards every manager operation with the given kernel mutex,
+// modelling the global allocation-service lock of the shared-memory RTOS
+// (operations from different PEs serialize, and software detection runs
+// inside the critical section — the behaviour that stretches the software
+// column of Table 5).
+func (rm *ResourceManager) Serialize(m *rtos.Mutex) { rm.mu = m }
+
+func (rm *ResourceManager) lock(c *rtos.TaskCtx) {
+	if rm.mu != nil {
+		rm.mu.Lock(c)
+	}
+}
+
+func (rm *ResourceManager) unlock(c *rtos.TaskCtx) {
+	if rm.mu != nil {
+		rm.mu.Unlock(c)
+	}
+}
+
+// NewResourceManager builds the service for n processes and the given
+// resource devices.
+func NewResourceManager(k *rtos.Kernel, det Detector, procs int, devices []*sim.Device) *ResourceManager {
+	rm := &ResourceManager{
+		k:       k,
+		det:     det,
+		g:       rag.NewGraph(len(devices), procs),
+		prio:    make([]int, procs),
+		waiters: map[int][]*waiter{},
+		devices: devices,
+	}
+	return rm
+}
+
+// SetPriority assigns process p's priority.
+func (rm *ResourceManager) SetPriority(p, prio int) { rm.prio[p] = prio }
+
+// Graph exposes the tracked RAG.
+func (rm *ResourceManager) Graph() *rag.Graph { return rm.g }
+
+// Device returns resource q's device.
+func (rm *ResourceManager) Device(q int) *sim.Device { return rm.devices[q] }
+
+// serviceCost charges the fixed allocation-service path (kernel entry, RAG
+// update in shared memory, and — for RTOS2 — the DDU matrix-cell write).
+func (rm *ResourceManager) serviceCost(c *rtos.TaskCtx) {
+	c.ChargeService(6)
+}
+
+// detect invokes the configured detector and latches the first deadlock.
+func (rm *ResourceManager) detect(c *rtos.TaskCtx) bool {
+	dead, _ := rm.det.Invoke(c, rm.g)
+	if dead && !rm.DeadlockSeen {
+		rm.DeadlockSeen = true
+		rm.DeadlockAt = c.Now()
+	}
+	return dead
+}
+
+// Request asks for resource q on behalf of process p (running in task
+// context c).  It blocks until the resource is granted.  Detection runs on
+// every request event, as the experiment prescribes.
+func (rm *ResourceManager) Request(c *rtos.TaskCtx, p, q int) {
+	rm.lock(c)
+	rm.Events++
+	rm.serviceCost(c)
+	if rm.g.Holder(q) == -1 {
+		if err := rm.g.SetGrant(q, p); err != nil {
+			panic("app: " + err.Error())
+		}
+		rm.detect(c)
+		rm.unlock(c)
+		return
+	}
+	rm.g.AddRequest(q, p)
+	rm.detect(c)
+	rm.waiters[q] = insertWaiter(rm.waiters[q], &waiter{proc: p, t: c.Task(), ctx: c}, rm.prio)
+	rm.unlock(c)
+	c.Park(fmt.Sprintf("res:%s", rm.devices[q].Name))
+}
+
+// RequestBoth asks for two resources in one service call (the paper's
+// processes request pairs like "IDCT and WI" simultaneously).  Whatever is
+// free is granted; the rest pends.  The call returns once both are held.
+func (rm *ResourceManager) RequestBoth(c *rtos.TaskCtx, p, q1, q2 int) {
+	// Issue both request edges first (the batch is one event each), then
+	// block for the pending ones in order.
+	rm.lock(c)
+	var pendings []int
+	for _, q := range []int{q1, q2} {
+		rm.Events++
+		rm.serviceCost(c)
+		if rm.g.Holder(q) == -1 {
+			if err := rm.g.SetGrant(q, p); err != nil {
+				panic("app: " + err.Error())
+			}
+			rm.detect(c)
+			continue
+		}
+		rm.g.AddRequest(q, p)
+		rm.detect(c)
+		pendings = append(pendings, q)
+	}
+	for _, q := range pendings {
+		if rm.g.Holder(q) != p {
+			rm.waiters[q] = insertWaiter(rm.waiters[q], &waiter{proc: p, t: c.Task(), ctx: c}, rm.prio)
+		}
+	}
+	rm.unlock(c)
+	for _, q := range pendings {
+		for rm.g.Holder(q) != p {
+			c.Park(fmt.Sprintf("res:%s", rm.devices[q].Name))
+		}
+	}
+}
+
+// Release frees resource q held by p, hands it to the highest-priority
+// waiter, and runs detection on the resulting state.
+func (rm *ResourceManager) Release(c *rtos.TaskCtx, p, q int) {
+	rm.lock(c)
+	rm.Events++
+	rm.serviceCost(c)
+	if err := rm.g.Release(q, p); err != nil {
+		panic("app: " + err.Error())
+	}
+	ws := rm.waiters[q]
+	if len(ws) == 0 {
+		rm.detect(c)
+		rm.unlock(c)
+		return
+	}
+	w := ws[0]
+	rm.waiters[q] = ws[1:]
+	if err := rm.g.SetGrant(q, w.proc); err != nil {
+		panic("app: " + err.Error())
+	}
+	// The grant event triggers detection — this is the event that catches
+	// the grant deadlock of the detection scenario.
+	rm.detect(c)
+	rm.unlock(c)
+	rm.k.Unpark(w.t)
+}
+
+func insertWaiter(ws []*waiter, w *waiter, prio []int) []*waiter {
+	i := 0
+	for i < len(ws) && prio[ws[i].proc] <= prio[w.proc] {
+		i++
+	}
+	ws = append(ws, nil)
+	copy(ws[i+1:], ws[i:])
+	ws[i] = w
+	return ws
+}

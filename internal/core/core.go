@@ -1,0 +1,422 @@
+// Package core is the heart of the reproduction: the RTOS resource-management
+// service with the paper's hardware/software partitioning knob.  One Manager
+// API covers all four deadlock configurations of Table 3 —
+//
+//	RTOS1  detection in software (PDDA)        Strategy: DetectSoftware
+//	RTOS2  detection in hardware (DDU)         Strategy: DetectHardware
+//	RTOS3  avoidance in software (DAA)         Strategy: AvoidSoftware
+//	RTOS4  avoidance in hardware (DAU)         Strategy: AvoidHardware
+//
+// so an application written against Manager can be re-partitioned by
+// changing one constructor argument, which is exactly the design-space
+// exploration story of the δ framework.
+//
+// Detection managers allow the system to reach deadlock and report it;
+// avoidance managers refuse deadlock-inducing grants and drive the give-up
+// protocol.  Both track the same RAG and expose uniform statistics.
+package core
+
+import (
+	"fmt"
+
+	"deltartos/internal/daa"
+	"deltartos/internal/dau"
+	"deltartos/internal/ddu"
+	"deltartos/internal/pdda"
+	"deltartos/internal/rag"
+	"deltartos/internal/sim"
+)
+
+// Strategy selects the deadlock-management partitioning.
+type Strategy int
+
+// The four partitionings of Table 3's deadlock rows.
+const (
+	DetectSoftware Strategy = iota // RTOS1
+	DetectHardware                 // RTOS2
+	AvoidSoftware                  // RTOS3
+	AvoidHardware                  // RTOS4
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case DetectSoftware:
+		return "RTOS1 (PDDA in software)"
+	case DetectHardware:
+		return "RTOS2 (DDU)"
+	case AvoidSoftware:
+		return "RTOS3 (DAA in software)"
+	case AvoidHardware:
+		return "RTOS4 (DAU)"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Avoids reports whether the strategy performs avoidance (refuses unsafe
+// grants) rather than detection.
+func (s Strategy) Avoids() bool { return s == AvoidSoftware || s == AvoidHardware }
+
+// Hardware reports whether the deadlock algorithm runs in a hardware unit.
+func (s Strategy) Hardware() bool { return s == DetectHardware || s == AvoidHardware }
+
+// Outcome is the answer to a Request.
+type Outcome int
+
+// Request outcomes across all strategies.
+const (
+	// Granted: the requester now holds the resource.
+	Granted Outcome = iota
+	// Queued: the resource is busy; the request waits.  Detection
+	// strategies may later discover this wait is deadlocked.
+	Queued
+	// Refused: (avoidance only) granting or queueing would deadlock; the
+	// requester must give up its resources and retry (GiveUp).
+	Refused
+	// OwnerAsked: (avoidance only) R-dl was found and the lower-priority
+	// owner was asked to release; the request is queued.
+	OwnerAsked
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Granted:
+		return "granted"
+	case Queued:
+		return "queued"
+	case Refused:
+		return "refused"
+	case OwnerAsked:
+		return "owner-asked"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// RequestResult carries an Outcome plus diagnostics.
+type RequestResult struct {
+	Outcome Outcome
+	// Deadlock is set by detection strategies when this event made the
+	// system deadlocked.
+	Deadlock bool
+	// AskedProcess is the process that must act (-1 if none).
+	AskedProcess int
+	// Cost is the algorithm's cost in bus cycles (what the mechanism would
+	// charge the invoking PE).
+	Cost sim.Cycles
+}
+
+// ReleaseResult carries a release's effect.
+type ReleaseResult struct {
+	// GrantedTo is the waiter that received the resource (-1 none).
+	GrantedTo int
+	// Deadlock as in RequestResult (detection strategies).
+	Deadlock bool
+	// GDlAvoided is set by avoidance strategies when the highest-priority
+	// waiter was bypassed to avoid grant deadlock.
+	GDlAvoided bool
+	Cost       sim.Cycles
+}
+
+// Stats aggregates manager activity.
+type Stats struct {
+	Requests   int
+	Releases   int
+	Deadlocks  int // detection: events that found deadlock
+	Avoidances int // avoidance: G-dl/R-dl events steered around
+	TotalCost  sim.Cycles
+}
+
+// Config sizes a Manager.
+type Config struct {
+	Strategy  Strategy
+	Procs     int
+	Resources int
+}
+
+// Manager is the partitioning-agnostic resource manager.
+type Manager struct {
+	cfg   Config
+	prio  []int
+	stats Stats
+
+	// Detection state (RTOS1/RTOS2).
+	g       *rag.Graph
+	hwDet   *ddu.Unit
+	waiting map[int][]int // resource -> priority-ordered waiters
+
+	// Avoidance state (RTOS3/RTOS4).
+	swAvoid *daa.Avoider
+	hwAvoid *dau.Unit
+}
+
+// New builds a manager for the given partitioning.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Procs <= 0 || cfg.Resources <= 0 {
+		return nil, fmt.Errorf("core: invalid size %d procs x %d resources", cfg.Procs, cfg.Resources)
+	}
+	m := &Manager{cfg: cfg, prio: make([]int, cfg.Procs)}
+	switch cfg.Strategy {
+	case DetectSoftware:
+		m.g = rag.NewGraph(cfg.Resources, cfg.Procs)
+		m.waiting = map[int][]int{}
+	case DetectHardware:
+		m.g = rag.NewGraph(cfg.Resources, cfg.Procs)
+		m.waiting = map[int][]int{}
+		u, err := ddu.New(ddu.Config{Procs: cfg.Procs, Resources: cfg.Resources})
+		if err != nil {
+			return nil, err
+		}
+		m.hwDet = u
+	case AvoidSoftware:
+		av, err := daa.New(daa.Config{Procs: cfg.Procs, Resources: cfg.Resources})
+		if err != nil {
+			return nil, err
+		}
+		m.swAvoid = av
+	case AvoidHardware:
+		u, err := dau.New(dau.Config{Procs: cfg.Procs, Resources: cfg.Resources})
+		if err != nil {
+			return nil, err
+		}
+		m.hwAvoid = u
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", int(cfg.Strategy))
+	}
+	return m, nil
+}
+
+// Strategy returns the configured partitioning.
+func (m *Manager) Strategy() Strategy { return m.cfg.Strategy }
+
+// Stats returns accumulated counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// SetPriority assigns process p's priority (lower = more important).
+func (m *Manager) SetPriority(p, prio int) {
+	m.prio[p] = prio
+	switch {
+	case m.swAvoid != nil:
+		m.swAvoid.SetPriority(p, daa.Priority(prio))
+	case m.hwAvoid != nil:
+		m.hwAvoid.SetPriority(p, daa.Priority(prio))
+	}
+}
+
+// Holder returns resource q's owner, or -1.
+func (m *Manager) Holder(q int) int {
+	switch {
+	case m.swAvoid != nil:
+		return m.swAvoid.Holder(q)
+	case m.hwAvoid != nil:
+		return m.hwAvoid.Holder(q)
+	default:
+		return m.g.Holder(q)
+	}
+}
+
+// Held returns the resources process p currently holds.
+func (m *Manager) Held(p int) []int {
+	switch {
+	case m.swAvoid != nil:
+		return m.swAvoid.Graph().HeldBy(p)
+	case m.hwAvoid != nil:
+		return m.hwAvoid.Avoider().Graph().HeldBy(p)
+	default:
+		return m.g.HeldBy(p)
+	}
+}
+
+// Deadlocked runs detection over the tracked state (all strategies).
+func (m *Manager) Deadlocked() bool {
+	switch {
+	case m.swAvoid != nil:
+		return m.swAvoid.Deadlocked()
+	case m.hwAvoid != nil:
+		return m.hwAvoid.Avoider().Deadlocked()
+	default:
+		return m.g.HasCycle()
+	}
+}
+
+// detectCost runs the strategy's detector over the tracked graph and
+// returns (deadlock, cost).
+func (m *Manager) detectCost() (bool, sim.Cycles) {
+	if m.hwDet != nil {
+		if err := m.hwDet.Load(m.g.Matrix()); err != nil {
+			panic("core: " + err.Error())
+		}
+		res := m.hwDet.Detect()
+		return res.Deadlock, sim.DDUInvokeCycles(res.Steps)
+	}
+	dead, st := pdda.DetectGraph(m.g)
+	return dead, sim.SoftwareDetectCycles(st)
+}
+
+// Request processes a request event for resource q by process p.
+func (m *Manager) Request(p, q int) (RequestResult, error) {
+	m.stats.Requests++
+	res := RequestResult{AskedProcess: -1}
+	switch m.cfg.Strategy {
+	case DetectSoftware, DetectHardware:
+		if m.g.Holder(q) == p {
+			return res, fmt.Errorf("core: p%d already holds q%d", p+1, q+1)
+		}
+		if m.g.Holder(q) == -1 {
+			if err := m.g.SetGrant(q, p); err != nil {
+				return res, err
+			}
+			res.Outcome = Granted
+		} else {
+			m.g.AddRequest(q, p)
+			m.waiting[q] = insertByPrio(m.waiting[q], p, m.prio)
+			res.Outcome = Queued
+		}
+		var dead bool
+		dead, res.Cost = m.detectCost()
+		res.Deadlock = dead
+		if dead {
+			m.stats.Deadlocks++
+		}
+	case AvoidSoftware:
+		before := m.swAvoid.Stats()
+		r, err := m.swAvoid.Request(p, q)
+		if err != nil {
+			return res, err
+		}
+		res = fromDaaRequest(r)
+		res.Cost = m.daaCostDelta(before)
+	case AvoidHardware:
+		st, steps, err := m.hwAvoid.Request(p, q)
+		if err != nil {
+			return res, err
+		}
+		res = fromDauStatus(st)
+		res.Cost = sim.DAUInvokeCycles(steps)
+	}
+	if res.Outcome == Refused || res.Outcome == OwnerAsked {
+		m.stats.Avoidances++
+	}
+	m.stats.TotalCost += res.Cost
+	return res, nil
+}
+
+// Release processes a release event.
+func (m *Manager) Release(p, q int) (ReleaseResult, error) {
+	m.stats.Releases++
+	res := ReleaseResult{GrantedTo: -1}
+	switch m.cfg.Strategy {
+	case DetectSoftware, DetectHardware:
+		if err := m.g.Release(q, p); err != nil {
+			return res, err
+		}
+		if ws := m.waiting[q]; len(ws) > 0 {
+			next := ws[0]
+			m.waiting[q] = ws[1:]
+			if err := m.g.SetGrant(q, next); err != nil {
+				return res, err
+			}
+			res.GrantedTo = next
+		}
+		var dead bool
+		dead, res.Cost = m.detectCost()
+		res.Deadlock = dead
+		if dead {
+			m.stats.Deadlocks++
+		}
+	case AvoidSoftware:
+		before := m.swAvoid.Stats()
+		r, err := m.swAvoid.Release(p, q)
+		if err != nil {
+			return res, err
+		}
+		res.GrantedTo = r.GrantedTo
+		res.GDlAvoided = r.GDl
+		res.Cost = m.daaCostDelta(before)
+		if r.GDl {
+			m.stats.Avoidances++
+		}
+	case AvoidHardware:
+		st, steps, err := m.hwAvoid.Release(p, q)
+		if err != nil {
+			return res, err
+		}
+		res.GrantedTo = st.GrantedTo
+		res.GDlAvoided = st.GDl
+		res.Cost = sim.DAUInvokeCycles(steps)
+		if st.GDl {
+			m.stats.Avoidances++
+		}
+	}
+	m.stats.TotalCost += res.Cost
+	return res, nil
+}
+
+// GiveUp releases every resource p holds (avoidance compliance path).
+func (m *Manager) GiveUp(p int) ([]ReleaseResult, error) {
+	var out []ReleaseResult
+	for _, q := range m.Held(p) {
+		r, err := m.Release(p, q)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// daaSoftwareOverhead is the fixed per-invocation software cost beyond
+// detection (dispatch, queue bookkeeping), matching the app-layer model.
+const daaSoftwareOverhead = 230
+
+// daaCostDelta converts the detection work one DAA invocation performed
+// into bus cycles.
+func (m *Manager) daaCostDelta(before daa.Stats) sim.Cycles {
+	after := m.swAvoid.Stats()
+	det := after.Detection
+	det.CellReads -= before.Detection.CellReads
+	det.CellWrites -= before.Detection.CellWrites
+	det.Ops -= before.Detection.Ops
+	return sim.SoftwareDetectCycles(det) + daaSoftwareOverhead
+}
+
+func fromDaaRequest(r daa.RequestResult) RequestResult {
+	out := RequestResult{AskedProcess: r.AskedProcess}
+	switch r.Decision {
+	case daa.Granted:
+		out.Outcome = Granted
+	case daa.Pending:
+		out.Outcome = Queued
+	case daa.PendingOwnerAsked:
+		out.Outcome = OwnerAsked
+	case daa.GiveUpRequested:
+		out.Outcome = Refused
+	}
+	return out
+}
+
+func fromDauStatus(st dau.Status) RequestResult {
+	out := RequestResult{AskedProcess: st.WhichProcess}
+	switch {
+	case st.Successful:
+		out.Outcome = Granted
+		out.AskedProcess = -1
+	case st.GiveUp:
+		out.Outcome = Refused
+	case st.Pending && st.RDl:
+		out.Outcome = OwnerAsked
+	default:
+		out.Outcome = Queued
+		out.AskedProcess = -1
+	}
+	return out
+}
+
+func insertByPrio(ws []int, p int, prio []int) []int {
+	i := 0
+	for i < len(ws) && prio[ws[i]] <= prio[p] {
+		i++
+	}
+	ws = append(ws, 0)
+	copy(ws[i+1:], ws[i:])
+	ws[i] = p
+	return ws
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var allStrategies = []Strategy{DetectSoftware, DetectHardware, AvoidSoftware, AvoidHardware}
+
+func mustManager(t *testing.T, s Strategy, procs, res int) *Manager {
+	t.Helper()
+	m, err := New(Config{Strategy: s, Procs: procs, Resources: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Strategy: DetectSoftware, Procs: 0, Resources: 4}); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := New(Config{Strategy: Strategy(9), Procs: 2, Resources: 2}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for _, s := range allStrategies {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+	if !AvoidHardware.Avoids() || DetectHardware.Avoids() {
+		t.Error("Avoids misclassified")
+	}
+	if !DetectHardware.Hardware() || AvoidSoftware.Hardware() {
+		t.Error("Hardware misclassified")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		Granted: "granted", Queued: "queued", Refused: "refused", OwnerAsked: "owner-asked",
+	} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d) = %q", int(o), o.String())
+		}
+	}
+}
+
+// Basic grant/queue/release flow must behave identically in every strategy.
+func TestUniformBasicFlow(t *testing.T) {
+	for _, s := range allStrategies {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			m := mustManager(t, s, 3, 3)
+			for p := 0; p < 3; p++ {
+				m.SetPriority(p, p+1)
+			}
+			r, err := m.Request(0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Outcome != Granted {
+				t.Fatalf("first request: %v", r.Outcome)
+			}
+			if m.Holder(0) != 0 {
+				t.Fatal("holder not tracked")
+			}
+			r, err = m.Request(1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Outcome != Queued {
+				t.Fatalf("busy request: %v", r.Outcome)
+			}
+			rel, err := m.Release(0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rel.GrantedTo != 1 {
+				t.Fatalf("release handed to %d", rel.GrantedTo)
+			}
+			if got := m.Held(1); len(got) != 1 || got[0] != 0 {
+				t.Fatalf("Held = %v", got)
+			}
+			st := m.Stats()
+			if st.Requests != 2 || st.Releases != 1 {
+				t.Errorf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+// Detection strategies must REPORT the deadlock; avoidance strategies must
+// PREVENT it.  Same event tape for all four.
+func TestPartitioningSemantics(t *testing.T) {
+	tape := func(m *Manager) (sawDeadlock, sawAvoidance bool, err error) {
+		// p1 takes q1; p2 takes q2; p2 wants q1 (queued); p1 wants q2:
+		// closes the cycle under detection, triggers R-dl under avoidance.
+		steps := []struct{ p, q int }{{0, 0}, {1, 1}, {1, 0}, {0, 1}}
+		for _, st := range steps {
+			r, e := m.Request(st.p, st.q)
+			if e != nil {
+				return false, false, e
+			}
+			if r.Deadlock {
+				sawDeadlock = true
+			}
+			if r.Outcome == Refused || r.Outcome == OwnerAsked {
+				sawAvoidance = true
+				// Comply with the avoider's demand, as the RTOS mechanism
+				// of Assumption 3 would.
+				victim := r.AskedProcess
+				if r.Outcome == Refused {
+					victim = st.p
+				}
+				if _, e := m.GiveUp(victim); e != nil {
+					return false, false, e
+				}
+			}
+		}
+		return sawDeadlock, sawAvoidance, nil
+	}
+	for _, s := range allStrategies {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			m := mustManager(t, s, 2, 2)
+			m.SetPriority(0, 1)
+			m.SetPriority(1, 2)
+			dead, avoided, err := tape(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Avoids() {
+				if dead {
+					t.Error("avoidance strategy reported deadlock")
+				}
+				if !avoided {
+					t.Error("avoidance strategy did not intervene")
+				}
+				if m.Deadlocked() {
+					t.Error("avoidance manager committed deadlock")
+				}
+				if m.Stats().Avoidances == 0 {
+					t.Error("no avoidance recorded in stats")
+				}
+			} else {
+				if !dead {
+					t.Error("detection strategy missed the deadlock")
+				}
+				if !m.Deadlocked() {
+					t.Error("Deadlocked() false after reported deadlock")
+				}
+				if m.Stats().Deadlocks == 0 {
+					t.Error("no deadlock recorded in stats")
+				}
+			}
+		})
+	}
+}
+
+// Hardware and software variants of the same policy must agree on outcomes
+// for identical traffic; only Cost differs.
+func TestHardwareSoftwareEquivalence(t *testing.T) {
+	pairs := []struct{ sw, hw Strategy }{
+		{DetectSoftware, DetectHardware},
+		{AvoidSoftware, AvoidHardware},
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, pair := range pairs {
+		pair := pair
+		t.Run(pair.hw.String(), func(t *testing.T) {
+			for trial := 0; trial < 30; trial++ {
+				msw := mustManager(t, pair.sw, 4, 4)
+				mhw := mustManager(t, pair.hw, 4, 4)
+				for p := 0; p < 4; p++ {
+					msw.SetPriority(p, p)
+					mhw.SetPriority(p, p)
+				}
+				var swCost, hwCost uint64
+				for step := 0; step < 80; step++ {
+					p, q := rng.Intn(4), rng.Intn(4)
+					if msw.Holder(q) == p {
+						rs, e1 := msw.Release(p, q)
+						rh, e2 := mhw.Release(p, q)
+						if (e1 == nil) != (e2 == nil) {
+							t.Fatalf("release error divergence: %v vs %v", e1, e2)
+						}
+						if e1 == nil && (rs.GrantedTo != rh.GrantedTo || rs.Deadlock != rh.Deadlock || rs.GDlAvoided != rh.GDlAvoided) {
+							t.Fatalf("release divergence: %+v vs %+v", rs, rh)
+						}
+						if e1 == nil {
+							swCost += rs.Cost
+							hwCost += rh.Cost
+						}
+						continue
+					}
+					rs, e1 := msw.Request(p, q)
+					rh, e2 := mhw.Request(p, q)
+					if (e1 == nil) != (e2 == nil) {
+						t.Fatalf("request error divergence: %v vs %v", e1, e2)
+					}
+					if e1 != nil {
+						continue
+					}
+					if rs.Outcome != rh.Outcome || rs.Deadlock != rh.Deadlock {
+						t.Fatalf("request divergence at step %d: %+v vs %+v", step, rs, rh)
+					}
+					swCost += rs.Cost
+					hwCost += rh.Cost
+					// Compliance for avoidance refusals, applied identically.
+					if rs.Outcome == Refused {
+						if _, err := msw.GiveUp(p); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := mhw.GiveUp(p); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if hwCost >= swCost {
+					t.Fatalf("hardware cost (%d) not below software cost (%d)", hwCost, swCost)
+				}
+			}
+		})
+	}
+}
+
+// Avoidance managers never commit a deadlocked state under random traffic
+// with compliant processes (re-statement of the daa safety property through
+// the facade).
+func TestAvoidanceSafetyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for _, s := range []Strategy{AvoidSoftware, AvoidHardware} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				m := mustManager(t, s, 4, 4)
+				for p := 0; p < 4; p++ {
+					m.SetPriority(p, p)
+				}
+				for step := 0; step < 120; step++ {
+					p, q := rng.Intn(4), rng.Intn(4)
+					if m.Holder(q) == p {
+						if _, err := m.Release(p, q); err != nil {
+							t.Fatal(err)
+						}
+						continue
+					}
+					r, err := m.Request(p, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					switch r.Outcome {
+					case Refused:
+						if _, err := m.GiveUp(p); err != nil {
+							t.Fatal(err)
+						}
+					case OwnerAsked:
+						if _, err := m.GiveUp(r.AskedProcess); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if m.Deadlocked() {
+						t.Fatalf("trial %d step %d: deadlock committed", trial, step)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	for _, s := range allStrategies {
+		m := mustManager(t, s, 2, 2)
+		if _, err := m.Request(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Request(0, 0); err == nil {
+			t.Errorf("%v: holder re-request accepted", s)
+		}
+		if _, err := m.Release(1, 0); err == nil {
+			t.Errorf("%v: release by non-holder accepted", s)
+		}
+	}
+}

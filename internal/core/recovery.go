@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Recovery for the detection strategies (RTOS1/RTOS2).  Section 3.3.1 notes
+// that deadlock detection "usually requires a recovery once a deadlock is
+// detected"; the paper stops its detection experiment at the detection
+// instant, and this file supplies the missing step: victim selection and
+// resource preemption, under the RTOS mechanism of Assumption 3 (the kernel
+// can ask a process to release what it holds).
+
+// RecoveryResult describes one recovery round.
+type RecoveryResult struct {
+	// Victims are the processes whose resources were preempted, in the
+	// order chosen (lowest priority on the cycle first).
+	Victims []int
+	// Released maps each victim to the resources taken from it.
+	Released map[int][]int
+	// Regranted maps resources to the waiter that received them afterwards
+	// (only resources with waiters appear).
+	Regranted map[int]int
+	// Resolved reports whether the system is deadlock-free afterwards.
+	Resolved bool
+}
+
+// Recover resolves a detected deadlock by repeatedly preempting the
+// lowest-priority deadlocked process until the wait-for state is acyclic.
+// Preempted resources flow to their highest-priority waiters when that is
+// safe.  Victims keep their pending requests and will re-acquire when the
+// resources cycle back (the checkpoint/restart model of the DAU's give-up
+// path, applied to detection systems).
+//
+// Recover is only meaningful for detection strategies; avoidance managers
+// never commit a deadlock and return an error.
+func (m *Manager) Recover() (RecoveryResult, error) {
+	res := RecoveryResult{Released: map[int][]int{}, Regranted: map[int]int{}}
+	if m.cfg.Strategy.Avoids() {
+		return res, fmt.Errorf("core: %v never commits deadlock; nothing to recover", m.cfg.Strategy)
+	}
+	for rounds := 0; m.g.HasCycle(); rounds++ {
+		if rounds > m.cfg.Procs {
+			return res, fmt.Errorf("core: recovery did not converge")
+		}
+		victim := m.pickVictim()
+		if victim < 0 {
+			return res, fmt.Errorf("core: cycle present but no victim found")
+		}
+		res.Victims = append(res.Victims, victim)
+		for _, q := range m.g.HeldBy(victim) {
+			if err := m.g.Release(q, victim); err != nil {
+				return res, err
+			}
+			res.Released[victim] = append(res.Released[victim], q)
+			// The victim will need the resource again.
+			m.g.AddRequest(q, victim)
+			m.waiting[q] = insertByPrio(m.waiting[q], victim, m.prio)
+			// Hand the freed resource to the best waiter whose grant does
+			// not immediately re-create a cycle.
+			ws := m.waiting[q]
+			for i, w := range ws {
+				if w == victim {
+					continue
+				}
+				trial := m.g.Clone()
+				if err := trial.SetGrant(q, w); err != nil {
+					return res, err
+				}
+				if trial.HasCycle() {
+					continue
+				}
+				if err := m.g.SetGrant(q, w); err != nil {
+					return res, err
+				}
+				m.waiting[q] = append(append([]int{}, ws[:i]...), ws[i+1:]...)
+				res.Regranted[q] = w
+				break
+			}
+		}
+	}
+	res.Resolved = !m.g.HasCycle()
+	return res, nil
+}
+
+// pickVictim returns the lowest-priority process among the deadlocked set
+// (ties broken by process id for determinism), or -1.
+func (m *Manager) pickVictim() int {
+	dead := m.g.DeadlockedProcesses()
+	if len(dead) == 0 {
+		return -1
+	}
+	sort.Slice(dead, func(i, j int) bool {
+		if m.prio[dead[i]] != m.prio[dead[j]] {
+			return m.prio[dead[i]] > m.prio[dead[j]] // lowest priority first
+		}
+		return dead[i] > dead[j]
+	})
+	// Prefer a victim that actually holds something (preempting a purely
+	// waiting process cannot break the cycle).
+	for _, p := range dead {
+		if len(m.g.HeldBy(p)) > 0 {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildDeadlock drives a detection manager into the classic 2-cycle.
+func buildDeadlock(t *testing.T, s Strategy) *Manager {
+	t.Helper()
+	m := mustManager(t, s, 3, 3)
+	m.SetPriority(0, 1)
+	m.SetPriority(1, 2)
+	m.SetPriority(2, 3)
+	for _, st := range []struct{ p, q int }{{0, 0}, {1, 1}, {1, 0}, {0, 1}} {
+		if _, err := m.Request(st.p, st.q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Deadlocked() {
+		t.Fatal("setup did not deadlock")
+	}
+	return m
+}
+
+func TestRecoverResolvesSimpleCycle(t *testing.T) {
+	for _, s := range []Strategy{DetectSoftware, DetectHardware} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			m := buildDeadlock(t, s)
+			res, err := m.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Resolved || m.Deadlocked() {
+				t.Fatal("recovery did not resolve the deadlock")
+			}
+			// Victim must be the LOWEST priority process on the cycle: p2.
+			if len(res.Victims) == 0 || res.Victims[0] != 1 {
+				t.Errorf("victims = %v, want p2 first", res.Victims)
+			}
+			// The victim's resource flowed to the higher-priority waiter.
+			if got, ok := res.Regranted[1]; !ok || got != 0 {
+				t.Errorf("q2 regranted to %d (%v), want p1", got, ok)
+			}
+			// Victim keeps a pending request for what it lost.
+			if !m.g.Requesting(1, 1) {
+				t.Error("victim's re-request not queued")
+			}
+		})
+	}
+}
+
+func TestRecoverOnAvoidanceErrors(t *testing.T) {
+	m := mustManager(t, AvoidHardware, 2, 2)
+	if _, err := m.Recover(); err == nil {
+		t.Error("Recover on avoidance manager should error")
+	}
+}
+
+func TestRecoverNoDeadlockNoop(t *testing.T) {
+	m := mustManager(t, DetectSoftware, 2, 2)
+	if _, err := m.Request(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Victims) != 0 || !res.Resolved {
+		t.Errorf("no-op recovery: %+v", res)
+	}
+	if m.Holder(0) != 0 {
+		t.Error("recovery disturbed a healthy grant")
+	}
+}
+
+// Property: recovery resolves ANY random committed deadlock, and never
+// preempts a process outside the deadlocked set.
+func TestRecoverRandomDeadlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(808))
+	resolved := 0
+	for trial := 0; trial < 200; trial++ {
+		m := mustManager(t, DetectSoftware, 5, 5)
+		for p := 0; p < 5; p++ {
+			m.SetPriority(p, rng.Intn(4))
+		}
+		// Random traffic until deadlock (or give up after 60 events).
+		for step := 0; step < 60 && !m.Deadlocked(); step++ {
+			p, q := rng.Intn(5), rng.Intn(5)
+			if m.Holder(q) == p {
+				if rng.Intn(2) == 0 {
+					if _, err := m.Release(p, q); err != nil {
+						t.Fatal(err)
+					}
+				}
+				continue
+			}
+			if _, err := m.Request(p, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !m.Deadlocked() {
+			continue
+		}
+		deadBefore := map[int]bool{}
+		for _, p := range m.g.DeadlockedProcesses() {
+			deadBefore[p] = true
+		}
+		res, err := m.Recover()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Resolved || m.Deadlocked() {
+			t.Fatalf("trial %d: unresolved deadlock", trial)
+		}
+		for _, v := range res.Victims {
+			if !deadBefore[v] {
+				t.Fatalf("trial %d: victim p%d was not deadlocked", trial, v+1)
+			}
+		}
+		resolved++
+	}
+	if resolved < 20 {
+		t.Errorf("only %d random deadlocks exercised; weaken the traffic generator", resolved)
+	}
+}

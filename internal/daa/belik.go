@@ -1,0 +1,160 @@
+package daa
+
+import (
+	"fmt"
+)
+
+// Belik is the second avoidance baseline of Section 3.3.3: Belik's 1990
+// path-matrix technique.  A reachability (path) matrix over processes is
+// maintained incrementally; a request that would close a path back to the
+// requester is denied.  Updates cost O(m·n) per allocation/release, and —
+// as the paper points out — the scheme has NO livelock story: a denied
+// request is simply denied, and a process whose requests keep losing races
+// can starve forever while the system as a whole makes progress.  The
+// TestBelikLivelock* tests make that criticism executable, and the DAA's
+// escalation path resolves the same scenario.
+type Belik struct {
+	m, n  int
+	owner []int    // resource -> process (-1 free)
+	waits [][]bool // waits[p][q]: p is waiting for q
+	// path[a][b]: process a transitively waits for a resource held by b.
+	path  [][]bool
+	stats Stats
+	// Denials counts requests refused because they would close a cycle.
+	Denials int
+}
+
+// NewBelik creates a Belik-style avoider.
+func NewBelik(procs, resources int) (*Belik, error) {
+	if procs <= 0 || resources <= 0 {
+		return nil, fmt.Errorf("daa: invalid belik size %d x %d", procs, resources)
+	}
+	b := &Belik{m: resources, n: procs, owner: make([]int, resources)}
+	for q := range b.owner {
+		b.owner[q] = -1
+	}
+	b.waits = make([][]bool, procs)
+	b.path = make([][]bool, procs)
+	for p := 0; p < procs; p++ {
+		b.waits[p] = make([]bool, resources)
+		b.path[p] = make([]bool, procs)
+	}
+	return b, nil
+}
+
+// Holder returns the owner of q, or -1.
+func (b *Belik) Holder(q int) int { return b.owner[q] }
+
+// Stats returns instrumentation.
+func (b *Belik) Stats() Stats { return b.stats }
+
+// rebuild recomputes the path matrix from the wait/ownership state: the
+// O(m·n) update step of Belik's scheme (run eagerly here for clarity).
+func (b *Belik) rebuild() {
+	b.stats.Detections++
+	// Direct edges: p waits for q held by o  =>  p -> o.
+	for p := 0; p < b.n; p++ {
+		for o := 0; o < b.n; o++ {
+			b.path[p][o] = false
+		}
+	}
+	for p := 0; p < b.n; p++ {
+		for q := 0; q < b.m; q++ {
+			if b.waits[p][q] && b.owner[q] != -1 {
+				b.path[p][b.owner[q]] = true
+			}
+		}
+	}
+	// Transitive closure (Warshall over the small process set).
+	for k := 0; k < b.n; k++ {
+		for i := 0; i < b.n; i++ {
+			if !b.path[i][k] {
+				continue
+			}
+			for j := 0; j < b.n; j++ {
+				if b.path[k][j] {
+					b.path[i][j] = true
+				}
+			}
+		}
+	}
+}
+
+// Request asks for q on behalf of p.  Outcomes: granted immediately;
+// queued (busy but safe — p's wait edge is recorded); or denied when
+// waiting would close a path back to p (the potential-deadlock check).
+// Denied requests are NOT queued: the process must retry, which is exactly
+// the retry loop that can livelock.
+func (b *Belik) Request(p, q int) (granted, denied bool, err error) {
+	if err := b.check(p, q); err != nil {
+		return false, false, err
+	}
+	b.stats.Requests++
+	if b.owner[q] == p {
+		return false, false, fmt.Errorf("daa: p%d already holds q%d", p+1, q+1)
+	}
+	if b.owner[q] == -1 {
+		b.owner[q] = p
+		b.waits[p][q] = false
+		b.rebuild()
+		return true, false, nil
+	}
+	// Tentatively add the wait edge and test for a path cycle through p.
+	b.waits[p][q] = true
+	b.rebuild()
+	if b.path[p][p] {
+		b.waits[p][q] = false
+		b.rebuild()
+		b.Denials++
+		return false, true, nil
+	}
+	return false, false, nil
+}
+
+// Release frees q (held by p) and grants it to an arbitrary waiter whose
+// grant keeps the path matrix acyclic.
+func (b *Belik) Release(p, q int) (grantedTo int, err error) {
+	if err := b.check(p, q); err != nil {
+		return -1, err
+	}
+	if b.owner[q] != p {
+		return -1, fmt.Errorf("daa: p%d does not hold q%d", p+1, q+1)
+	}
+	b.stats.Releases++
+	b.owner[q] = -1
+	for w := 0; w < b.n; w++ {
+		if !b.waits[w][q] {
+			continue
+		}
+		b.owner[q] = w
+		b.waits[w][q] = false
+		b.rebuild()
+		if !b.pathHasCycle() {
+			return w, nil
+		}
+		// Undo and keep scanning.
+		b.waits[w][q] = true
+		b.owner[q] = -1
+	}
+	b.rebuild()
+	return -1, nil
+}
+
+func (b *Belik) pathHasCycle() bool {
+	for p := 0; p < b.n; p++ {
+		if b.path[p][p] {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Belik) check(p, q int) error {
+	if p < 0 || p >= b.n {
+		return fmt.Errorf("daa: process %d out of range", p)
+	}
+	if q < 0 || q >= b.m {
+		return fmt.Errorf("daa: resource %d out of range", q)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package daa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newBelik(t *testing.T, procs, res int) *Belik {
+	t.Helper()
+	b, err := NewBelik(procs, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBelikValidation(t *testing.T) {
+	if _, err := NewBelik(0, 2); err == nil {
+		t.Error("zero procs accepted")
+	}
+	b := newBelik(t, 2, 2)
+	if _, _, err := b.Request(9, 0); err == nil {
+		t.Error("bad process accepted")
+	}
+	if _, err := b.Release(0, 0); err == nil {
+		t.Error("release of unheld accepted")
+	}
+}
+
+func TestBelikGrantAndQueue(t *testing.T) {
+	b := newBelik(t, 2, 2)
+	g, d, err := b.Request(0, 0)
+	if err != nil || !g || d {
+		t.Fatalf("free grant: %v %v %v", g, d, err)
+	}
+	g, d, err = b.Request(1, 0)
+	if err != nil || g || d {
+		t.Fatalf("busy-but-safe request should queue: %v %v %v", g, d, err)
+	}
+	w, err := b.Release(0, 0)
+	if err != nil || w != 1 {
+		t.Fatalf("release hand-off: %d %v", w, err)
+	}
+	if b.Holder(0) != 1 {
+		t.Error("hand-off not recorded")
+	}
+}
+
+func TestBelikDeniesCycleClosingRequest(t *testing.T) {
+	b := newBelik(t, 2, 2)
+	mustB(t, b, 0, 0) // p1 holds q1
+	mustB(t, b, 1, 1) // p2 holds q2
+	g, d, err := b.Request(1, 0)
+	if err != nil || g || d {
+		t.Fatalf("p2->q1 should queue safely: %v %v %v", g, d, err)
+	}
+	// p1 -> q2 would close the cycle: must be DENIED, not queued.
+	g, d, err = b.Request(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g || !d {
+		t.Fatalf("cycle-closing request not denied: granted=%v denied=%v", g, d)
+	}
+	if b.Denials != 1 {
+		t.Errorf("Denials = %d", b.Denials)
+	}
+}
+
+func mustB(t *testing.T, b *Belik, p, q int) {
+	t.Helper()
+	if _, _, err := b.Request(p, q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's criticism, executable: under Belik's scheme a denied process
+// that retries can be denied EVERY time while the system makes progress —
+// livelock, with no mechanism to resolve it.  The DAA on the identical
+// scenario escalates after LivelockThreshold denials and unblocks the
+// starving process.
+func TestBelikLivelockVsDAAEscalation(t *testing.T) {
+	// p2 holds q2 and keeps needing q1 for short bursts; p1 holds q1
+	// permanently and wants q2.  Under Belik, p1's request for q2 is denied
+	// whenever p2 waits for q1 — and p2 re-requests immediately after every
+	// release, so p1 starves across unbounded retries.
+	b := newBelik(t, 2, 2)
+	mustB(t, b, 0, 0) // p1 holds q1
+	mustB(t, b, 1, 1) // p2 holds q2
+	denials := 0
+	for round := 0; round < 25; round++ {
+		// p2's burst: wait for q1 (queued behind p1 forever).
+		if _, _, err := b.Request(1, 0); err != nil {
+			t.Fatal(err)
+		}
+		// p1 retries its request for q2: denied every round.
+		_, d, err := b.Request(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d {
+			denials++
+		}
+	}
+	if denials != 25 {
+		t.Fatalf("Belik denied %d/25 retries; expected starvation on every round", denials)
+	}
+
+	// Same scenario through the DAA: after the threshold, the avoider
+	// escalates and asks the owner to release instead of denying forever.
+	av, err := New(Config{Procs: 2, Resources: 2, LivelockThreshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	av.SetPriority(0, 2) // p1 is LOWER priority: its requests draw give-ups
+	av.SetPriority(1, 1)
+	if _, err := av.Request(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := av.Request(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := av.Request(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	escalated := false
+	for round := 0; round < 5 && !escalated; round++ {
+		res, err := av.Request(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Livelock {
+			escalated = true
+		}
+	}
+	if !escalated {
+		t.Fatal("DAA did not escalate the livelock within the threshold")
+	}
+	if av.Stats().LivelockEvents == 0 {
+		t.Error("livelock event not recorded")
+	}
+}
+
+// Belik never reaches a committed deadlock under random traffic (its safety
+// guarantee holds; its weakness is starvation, not unsoundness).
+func TestBelikNeverDeadlocksRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		n, m := 2+rng.Intn(3), 2+rng.Intn(3)
+		b := newBelik(t, n, m)
+		for step := 0; step < 150; step++ {
+			p, q := rng.Intn(n), rng.Intn(m)
+			if b.Holder(q) == p {
+				if _, err := b.Release(p, q); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			if _, _, err := b.Request(p, q); err != nil {
+				continue // p already holds q etc.
+			}
+			if b.pathHasCycle() {
+				t.Fatalf("trial %d step %d: Belik committed a wait cycle", trial, step)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package delta
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The shipped sample configurations under configs/ must load, validate and
+// generate (they are the documented deltagen inputs).
+func TestShippedConfigs(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("configs dir: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected sample configs, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := Load(data)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			gen, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if len(gen.Top.Emit()) == 0 {
+				t.Error("empty top file")
+			}
+			// Round trip through Save/Load preserves the configuration.
+			out, err := cfg.Save()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg2, err := Load(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg2.Name != cfg.Name || cfg2.PEs() != cfg.PEs() ||
+				len(cfg2.Components) != len(cfg.Components) {
+				t.Errorf("round trip changed config: %+v vs %+v", cfg2, cfg)
+			}
+		})
+	}
+}
+
+func TestHierarchicalSampleHasTwoSubsystems(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "configs", "hierarchical-dau.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Subsystems) != 2 || cfg.PEs() != 5 {
+		t.Errorf("hierarchical sample: %d subsystems, %d PEs", len(cfg.Subsystems), cfg.PEs())
+	}
+	if !cfg.Has(CompDAU) {
+		t.Error("sample should select the DAU")
+	}
+}

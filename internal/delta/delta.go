@@ -1,0 +1,345 @@
+// Package delta implements the δ hardware/software RTOS design framework of
+// Section 2: a configuration schema for the target MPSoC (PEs, bus
+// subsystems, memories, hardware RTOS components), parameterized generators
+// for the hardware IP components (SoCLC, SoCDMMU, DDU, DAU), the Archi_gen
+// Verilog top-file generator of Figure 7, and the RTOS1–RTOS7 presets of
+// Table 3.
+package delta
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"deltartos/internal/dau"
+	"deltartos/internal/ddu"
+	"deltartos/internal/socdmmu"
+	"deltartos/internal/soclc"
+	"deltartos/internal/verilog"
+)
+
+// PEType enumerates the processor cores the framework knows how to
+// instantiate (the GUI's CPU-type menu, Figure 6).
+type PEType string
+
+// Supported PE types.
+const (
+	PEMPC755   PEType = "MPC755"
+	PEMPC750   PEType = "MPC750"
+	PEARM920   PEType = "ARM920"
+	PEARM9TDMI PEType = "ARM9TDMI"
+)
+
+var validPEs = map[PEType]bool{
+	PEMPC755: true, PEMPC750: true, PEARM920: true, PEARM9TDMI: true,
+}
+
+// MemoryType enumerates bus-attached memory kinds (Figure 5).
+type MemoryType string
+
+// Supported memory types.
+const (
+	MemSRAM  MemoryType = "SRAM"
+	MemSDRAM MemoryType = "SDRAM"
+	MemDRAM  MemoryType = "DRAM"
+)
+
+var validMems = map[MemoryType]bool{MemSRAM: true, MemSDRAM: true, MemDRAM: true}
+
+// Memory describes one memory in a bus subsystem.
+type Memory struct {
+	Type      MemoryType `json:"type"`
+	AddrBits  int        `json:"addr_bits"`
+	DataBits  int        `json:"data_bits"`
+	SizeBytes int        `json:"size_bytes"`
+}
+
+// BusSubsystem is one Bus Access Node group of the hierarchical bus
+// configurator (Figures 4–6).
+type BusSubsystem struct {
+	Name       string   `json:"name"`
+	PEs        int      `json:"pes"`
+	PEType     PEType   `json:"pe_type"`
+	AddrBits   int      `json:"addr_bits"`
+	DataBits   int      `json:"data_bits"`
+	GlobalMems []Memory `json:"global_memories"`
+	LocalMems  []Memory `json:"local_memories"`
+}
+
+// Component names a hardware RTOS component the user can tick in the GUI.
+type Component string
+
+// Selectable hardware/software RTOS components (Table 3 building blocks).
+const (
+	CompSoCLC   Component = "soclc"
+	CompSoCDMMU Component = "socdmmu"
+	CompDDU     Component = "ddu"
+	CompDAU     Component = "dau"
+	CompPDDASW  Component = "pdda-sw" // deadlock detection in software
+	CompDAASW   Component = "daa-sw"  // deadlock avoidance in software
+	CompPISW    Component = "pi-sw"   // priority inheritance in software
+)
+
+var validComponents = map[Component]bool{
+	CompSoCLC: true, CompSoCDMMU: true, CompDDU: true, CompDAU: true,
+	CompPDDASW: true, CompDAASW: true, CompPISW: true,
+}
+
+// Hardware reports whether the component is a hardware IP core.
+func (c Component) Hardware() bool {
+	switch c {
+	case CompSoCLC, CompSoCDMMU, CompDDU, CompDAU:
+		return true
+	}
+	return false
+}
+
+// Config is the full user specification of a target RTOS/MPSoC, the input
+// to the δ framework GUI of Figure 3.
+type Config struct {
+	Name       string         `json:"name"`
+	Subsystems []BusSubsystem `json:"bus_subsystems"`
+	Components []Component    `json:"components"`
+
+	// Component parameters (each generator's knobs).
+	Tasks     int `json:"tasks"`     // max processes for deadlock units
+	Resources int `json:"resources"` // max resources for deadlock units
+
+	SoCLC   soclc.Config   `json:"soclc,omitempty"`
+	SoCDMMU socdmmu.Config `json:"socdmmu,omitempty"`
+}
+
+// PEs returns the total processor count across subsystems.
+func (c *Config) PEs() int {
+	n := 0
+	for _, s := range c.Subsystems {
+		n += s.PEs
+	}
+	return n
+}
+
+// Has reports whether the configuration selects component comp.
+func (c *Config) Has(comp Component) bool {
+	for _, x := range c.Components {
+		if x == comp {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the whole configuration.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("delta: configuration needs a name")
+	}
+	if len(c.Subsystems) == 0 {
+		return fmt.Errorf("delta: at least one bus subsystem required")
+	}
+	for i, s := range c.Subsystems {
+		if s.PEs <= 0 {
+			return fmt.Errorf("delta: subsystem %d has no PEs", i)
+		}
+		if !validPEs[s.PEType] {
+			return fmt.Errorf("delta: subsystem %d has unknown PE type %q", i, s.PEType)
+		}
+		if s.AddrBits <= 0 || s.AddrBits > 64 || s.DataBits <= 0 || s.DataBits > 128 {
+			return fmt.Errorf("delta: subsystem %d has invalid bus widths %d/%d", i, s.AddrBits, s.DataBits)
+		}
+		for j, m := range append(append([]Memory{}, s.GlobalMems...), s.LocalMems...) {
+			if !validMems[m.Type] {
+				return fmt.Errorf("delta: subsystem %d memory %d has unknown type %q", i, j, m.Type)
+			}
+			if m.SizeBytes <= 0 {
+				return fmt.Errorf("delta: subsystem %d memory %d has invalid size", i, j)
+			}
+		}
+	}
+	for _, comp := range c.Components {
+		if !validComponents[comp] {
+			return fmt.Errorf("delta: unknown component %q", comp)
+		}
+	}
+	if c.Has(CompDDU) && c.Has(CompDAU) {
+		return fmt.Errorf("delta: DDU and DAU are alternatives; select one")
+	}
+	if c.Has(CompDDU) || c.Has(CompDAU) || c.Has(CompPDDASW) || c.Has(CompDAASW) {
+		if c.Tasks <= 0 || c.Resources <= 0 {
+			return fmt.Errorf("delta: deadlock components need tasks/resources counts")
+		}
+	}
+	if c.Has(CompSoCLC) {
+		if err := c.SoCLC.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Has(CompSoCDMMU) {
+		if err := c.SoCDMMU.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarshalJSON round trip helpers: Config is plain JSON-serializable; Load
+// and Save wrap encoding/json with validation.
+
+// Load parses and validates a configuration from JSON.
+func Load(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("delta: parse config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Save serializes a configuration to indented JSON.
+func (c *Config) Save() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// BaseMPSoC returns the experiment platform of Section 5.1: four MPC755s
+// with 32 KB L1 caches, one bus subsystem (32-bit address, 64-bit data) and
+// 16 MB of shared SRAM.
+func BaseMPSoC() Config {
+	return Config{
+		Name: "base",
+		Subsystems: []BusSubsystem{{
+			Name:     "main",
+			PEs:      4,
+			PEType:   PEMPC755,
+			AddrBits: 32,
+			DataBits: 64,
+			GlobalMems: []Memory{{
+				Type: MemSRAM, AddrBits: 24, DataBits: 64, SizeBytes: 16 << 20,
+			}},
+		}},
+	}
+}
+
+// Preset builds one of the configured systems of Table 3 (RTOS1–RTOS7).
+func Preset(name string) (Config, error) {
+	c := BaseMPSoC()
+	c.Name = name
+	c.Tasks = 5
+	c.Resources = 5
+	switch name {
+	case "RTOS1": // PDDA in software
+		c.Components = []Component{CompPDDASW}
+	case "RTOS2": // DDU in hardware
+		c.Components = []Component{CompDDU}
+	case "RTOS3": // DAA in software
+		c.Components = []Component{CompDAASW}
+	case "RTOS4": // DAU in hardware
+		c.Components = []Component{CompDAU}
+	case "RTOS5": // pure RTOS with priority inheritance in software
+		c.Components = []Component{CompPISW}
+	case "RTOS6": // SoCLC with IPCP in hardware
+		c.Components = []Component{CompSoCLC}
+		c.SoCLC = soclc.Config{ShortLocks: 8, LongLocks: 8, PEs: 4}
+	case "RTOS7": // SoCDMMU in hardware
+		c.Components = []Component{CompSoCDMMU}
+		c.SoCDMMU = socdmmu.DefaultConfig()
+	default:
+		return Config{}, fmt.Errorf("delta: unknown preset %q (want RTOS1..RTOS7)", name)
+	}
+	return c, nil
+}
+
+// PresetNames lists the Table 3 presets in order.
+func PresetNames() []string {
+	return []string{"RTOS1", "RTOS2", "RTOS3", "RTOS4", "RTOS5", "RTOS6", "RTOS7"}
+}
+
+// Describe returns the Table 3 description line for a preset configuration.
+func Describe(c *Config) string {
+	var parts []string
+	for _, comp := range c.Components {
+		switch comp {
+		case CompPDDASW:
+			parts = append(parts, "PDDA (Algorithms 1 and 2) in software")
+		case CompDDU:
+			parts = append(parts, "DDU in hardware")
+		case CompDAASW:
+			parts = append(parts, "DAA (Algorithm 3) in software")
+		case CompDAU:
+			parts = append(parts, "DAU in hardware")
+		case CompPISW:
+			parts = append(parts, "Pure RTOS with priority inheritance support")
+		case CompSoCLC:
+			parts = append(parts, "SoCLC with immediate priority ceiling protocol in hardware")
+		case CompSoCDMMU:
+			parts = append(parts, "SoCDMMU in hardware")
+		}
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "essential pure software RTOS"
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "; " + p
+	}
+	return out
+}
+
+// GeneratedSystem is the output of Generate: the Verilog top file plus the
+// per-component files and the software configuration header.
+type GeneratedSystem struct {
+	Top        *verilog.File
+	Components map[Component]*verilog.File
+	// RTOSHeader is the generated C configuration header for the Atalanta
+	// build (the software half of the configured system).
+	RTOSHeader string
+}
+
+// Generate runs the Figure 7 flow: it walks the description library entry
+// for the selected configuration, instantiates every module (PEs, L2 memory,
+// memory controller, arbiter, interrupt controller, selected hardware RTOS
+// components), wires them and emits the top file plus per-unit Verilog.
+func Generate(c *Config) (*GeneratedSystem, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GeneratedSystem{Components: map[Component]*verilog.File{}}
+
+	// Per-component generation (the parameterized generators of Section 2.2).
+	for _, comp := range c.Components {
+		switch comp {
+		case CompDDU:
+			f, err := ddu.Generate(ddu.Config{Procs: c.Tasks, Resources: c.Resources})
+			if err != nil {
+				return nil, err
+			}
+			g.Components[comp] = f
+		case CompDAU:
+			f, err := dau.Generate(dau.Config{Procs: c.Tasks, Resources: c.Resources})
+			if err != nil {
+				return nil, err
+			}
+			g.Components[comp] = f
+		case CompSoCLC:
+			f, err := soclc.Generate(c.SoCLC)
+			if err != nil {
+				return nil, err
+			}
+			g.Components[comp] = f
+		case CompSoCDMMU:
+			f, err := socdmmu.Generate(c.SoCDMMU)
+			if err != nil {
+				return nil, err
+			}
+			g.Components[comp] = f
+		}
+	}
+
+	g.Top = archiGen(c)
+	g.RTOSHeader = rtosHeader(c)
+	return g, nil
+}

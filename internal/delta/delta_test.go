@@ -1,0 +1,262 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+
+	"deltartos/internal/verilog"
+)
+
+func TestBaseMPSoCValid(t *testing.T) {
+	c := BaseMPSoC()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("base MPSoC invalid: %v", err)
+	}
+	if c.PEs() != 4 {
+		t.Errorf("PEs = %d, want 4", c.PEs())
+	}
+	if c.Subsystems[0].GlobalMems[0].SizeBytes != 16<<20 {
+		t.Error("base memory should be 16 MB")
+	}
+}
+
+func TestAllPresetsValidAndGenerate(t *testing.T) {
+	for _, name := range PresetNames() {
+		c, err := Preset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", name, err)
+		}
+		g, err := Generate(&c)
+		if err != nil {
+			t.Fatalf("%s generate: %v", name, err)
+		}
+		if g.Top == nil || len(g.Top.Emit()) == 0 {
+			t.Fatalf("%s: empty top file", name)
+		}
+		if problems := g.Top.Check(ExternModules()); countNonComponent(problems) != 0 {
+			t.Errorf("%s top problems: %v", name, problems)
+		}
+		if !strings.Contains(g.RTOSHeader, "ATA_NUM_PE") {
+			t.Errorf("%s: RTOS header missing defines", name)
+		}
+	}
+}
+
+// countNonComponent filters problems about the ddu_/dau_ modules that live
+// in separate generated files.
+func countNonComponent(problems []string) int {
+	n := 0
+	for _, p := range problems {
+		if !strings.Contains(p, "ddu_") && !strings.Contains(p, "dau_") {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("RTOS99"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestTable3Descriptions(t *testing.T) {
+	want := map[string]string{
+		"RTOS1": "PDDA",
+		"RTOS2": "DDU in hardware",
+		"RTOS3": "DAA",
+		"RTOS4": "DAU in hardware",
+		"RTOS5": "priority inheritance",
+		"RTOS6": "SoCLC",
+		"RTOS7": "SoCDMMU",
+	}
+	for name, frag := range want {
+		c, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if desc := Describe(&c); !strings.Contains(desc, frag) {
+			t.Errorf("%s description %q missing %q", name, desc, frag)
+		}
+	}
+	empty := BaseMPSoC()
+	if Describe(&empty) != "essential pure software RTOS" {
+		t.Errorf("empty description = %q", Describe(&empty))
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Name = "" },
+		func(c *Config) { c.Subsystems = nil },
+		func(c *Config) { c.Subsystems[0].PEs = 0 },
+		func(c *Config) { c.Subsystems[0].PEType = "Z80" },
+		func(c *Config) { c.Subsystems[0].AddrBits = 0 },
+		func(c *Config) { c.Subsystems[0].DataBits = 1024 },
+		func(c *Config) { c.Subsystems[0].GlobalMems[0].Type = "FLASH" },
+		func(c *Config) { c.Subsystems[0].GlobalMems[0].SizeBytes = 0 },
+		func(c *Config) { c.Components = []Component{"fpu"} },
+		func(c *Config) { c.Components = []Component{CompDDU, CompDAU}; c.Tasks, c.Resources = 5, 5 },
+		func(c *Config) { c.Components = []Component{CompDDU} }, // no tasks/resources
+	}
+	for i, mutate := range cases {
+		c := BaseMPSoC()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestComponentHardware(t *testing.T) {
+	if !CompDDU.Hardware() || !CompSoCLC.Hardware() {
+		t.Error("hardware components misclassified")
+	}
+	if CompPDDASW.Hardware() || CompPISW.Hardware() {
+		t.Error("software components misclassified")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c, err := Preset("RTOS6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := c.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Name != c.Name || !c2.Has(CompSoCLC) || c2.SoCLC.LongLocks != 8 {
+		t.Errorf("round trip mismatch: %+v", c2)
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	if _, err := Load([]byte("{")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	if _, err := Load([]byte(`{"name":""}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestArchiGenExample1(t *testing.T) {
+	// Example 1: a system having three PEs and an SoCLC with 8 small and 8
+	// long locks.
+	c := BaseMPSoC()
+	c.Name = "example1"
+	c.Subsystems[0].PEs = 3
+	c.Components = []Component{CompSoCLC}
+	c.SoCLC.ShortLocks = 8
+	c.SoCLC.LongLocks = 8
+	c.SoCLC.PEs = 3
+	g, err := Generate(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := g.Top.Emit()
+	for _, want := range []string{
+		"mpc755 pe0", "mpc755 pe1", "mpc755 pe2", // distinct instance ids
+		"mem_ctrl", "bus_arbiter", "interrupt_ctrl", "soclc u_soclc",
+		"initial begin",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Example 1 top missing %q", want)
+		}
+	}
+	if strings.Contains(text, "pe3") {
+		t.Error("too many PEs instantiated")
+	}
+	if _, ok := g.Components[CompSoCLC]; !ok {
+		t.Error("SoCLC component file not generated")
+	}
+}
+
+func TestGenerateComponentFiles(t *testing.T) {
+	for preset, wantComp := range map[string]Component{
+		"RTOS2": CompDDU,
+		"RTOS4": CompDAU,
+		"RTOS6": CompSoCLC,
+		"RTOS7": CompSoCDMMU,
+	} {
+		c, err := Preset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Generate(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, ok := g.Components[wantComp]
+		if !ok {
+			t.Errorf("%s: component %s not generated", preset, wantComp)
+			continue
+		}
+		if verilog.CountLines(f.Emit()) == 0 {
+			t.Errorf("%s: empty component file", preset)
+		}
+	}
+	// Software presets generate no hardware component files.
+	c, _ := Preset("RTOS1")
+	g, err := Generate(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Components) != 0 {
+		t.Errorf("RTOS1 generated hardware files: %v", g.Components)
+	}
+}
+
+func TestRTOSHeaderContents(t *testing.T) {
+	c, _ := Preset("RTOS7")
+	g, err := Generate(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ATA_USE_SOCDMMU", "ATA_DMMU_BLOCKS   256", "ATA_NUM_PE        4"} {
+		if !strings.Contains(g.RTOSHeader, want) {
+			t.Errorf("header missing %q:\n%s", want, g.RTOSHeader)
+		}
+	}
+	c6, _ := Preset("RTOS6")
+	g6, _ := Generate(&c6)
+	if !strings.Contains(g6.RTOSHeader, "ATA_SOCLC_SHORT   8") {
+		t.Errorf("RTOS6 header missing lock counts:\n%s", g6.RTOSHeader)
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	c := Config{}
+	if _, err := Generate(&c); err == nil {
+		t.Error("Generate accepted invalid config")
+	}
+}
+
+func TestHierarchicalBusConfig(t *testing.T) {
+	c := BaseMPSoC()
+	c.Subsystems = append(c.Subsystems, BusSubsystem{
+		Name: "io", PEs: 2, PEType: PEARM920, AddrBits: 32, DataBits: 32,
+		LocalMems: []Memory{{Type: MemSDRAM, AddrBits: 21, DataBits: 32, SizeBytes: 2 << 20}},
+	})
+	if err := c.Validate(); err != nil {
+		t.Fatalf("two-subsystem config invalid: %v", err)
+	}
+	if c.PEs() != 6 {
+		t.Errorf("PEs = %d, want 6", c.PEs())
+	}
+	g, err := Generate(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := g.Top.Emit()
+	if !strings.Contains(text, "arm920 pe4") || !strings.Contains(text, "bus1_addr") {
+		t.Errorf("hierarchical top missing second subsystem content")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table45", "table67", "table89",
+		"table10", "table11", "table12",
+		"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig20",
+		"ext-scale", "ext-parallel", "ext-livelock",
+	}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+}
+
+func TestFindUnknown(t *testing.T) {
+	if _, ok := Find("table99"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Errorf("All() not sorted: %s >= %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+// Every registered experiment must run without error and produce rows.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment suite in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s: no rows", e.ID)
+			}
+			text := Render(res)
+			if !strings.Contains(text, e.ID) {
+				t.Errorf("%s: render missing id:\n%s", e.ID, text)
+			}
+		})
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	r := Result{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"wide-cell-content", "1"}},
+		Notes:  []string{"a note"},
+	}
+	text := Render(r)
+	for _, want := range []string{"== x: demo ==", "wide-cell-content", "long-header", "note: a note", "---"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSpeedupConvention(t *testing.T) {
+	// Hennessy-Patterson: (40523-27714)/27714 = 46.2%.
+	if got := speedup(40523, 27714); got < 46 || got > 47 {
+		t.Errorf("speedup = %.1f, want ~46.2", got)
+	}
+	if speedup(10, 0) != 0 {
+		t.Error("zero-new speedup should be 0")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	register(Experiment{ID: "table1"})
+}
+
+func TestFormatters(t *testing.T) {
+	if f0(3.7) != "4" || f1(3.14) != "3.1" || f2(3.14159) != "3.14" || pct(12.34) != "12.3%" {
+		t.Error("formatter mismatch")
+	}
+}

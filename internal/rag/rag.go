@@ -1,0 +1,627 @@
+// Package rag implements the Resource Allocation Graph (RAG) and its state
+// matrix representation from Lee & Mooney, "Hardware/Software Partitioning of
+// Operating Systems" (DATE 2003), Section 4.2.
+//
+// A system state γ_ij with m resources and n processes is represented either
+// as a bipartite directed graph (Graph) or as an m×n matrix of 2-bit cells
+// (Matrix, Definition 6).  Cell (s,t) holds:
+//
+//	g (binary 01) — resource q_s is granted to process p_t
+//	r (binary 10) — process p_t requests resource q_s
+//	0 (binary 00) — no edge
+//
+// The paper's system model (Section 3.2.2) uses single-unit resources: a
+// resource is granted to at most one process at a time.  Graph enforces that
+// invariant; Matrix does not (the hardware operates on raw bits), but
+// Matrix.Validate reports violations.
+package rag
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+)
+
+// Cell is the ternary content of one matrix entry.
+type Cell uint8
+
+// Cell values use the paper's binary encoding (α^r, α^g).
+const (
+	None    Cell = 0b00 // no activity
+	Grant   Cell = 0b01 // grant edge q_s -> p_t
+	Request Cell = 0b10 // request edge p_t -> q_s
+)
+
+// String renders the cell the way the paper draws matrices.
+func (c Cell) String() string {
+	switch c {
+	case Grant:
+		return "g"
+	case Request:
+		return "r"
+	case None:
+		return "."
+	}
+	return "?"
+}
+
+// Valid reports whether c is one of the three legal encodings (11 is illegal).
+func (c Cell) Valid() bool { return c == None || c == Grant || c == Request }
+
+// Matrix is the state matrix M_ij: M resources (rows) × N processes
+// (columns).  Request and grant bits are stored in two packed bit-planes, one
+// uint64 word group per row, so that the DDU's bit-wise row/column reductions
+// (Equations 3–7) are literal word operations.
+type Matrix struct {
+	M, N  int // resources, processes
+	words int // uint64 words per row
+	req   [][]uint64
+	grant [][]uint64
+}
+
+// NewMatrix returns an empty m×n state matrix.
+func NewMatrix(m, n int) *Matrix {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("rag: invalid matrix size %dx%d", m, n))
+	}
+	w := (n + 63) / 64
+	mx := &Matrix{M: m, N: n, words: w}
+	mx.req = make([][]uint64, m)
+	mx.grant = make([][]uint64, m)
+	for s := 0; s < m; s++ {
+		mx.req[s] = make([]uint64, w)
+		mx.grant[s] = make([]uint64, w)
+	}
+	return mx
+}
+
+func (mx *Matrix) check(s, t int) {
+	if s < 0 || s >= mx.M || t < 0 || t >= mx.N {
+		panic(fmt.Sprintf("rag: cell (%d,%d) out of %dx%d matrix", s, t, mx.M, mx.N))
+	}
+}
+
+// Set writes cell (s,t); s is the resource row, t the process column.
+func (mx *Matrix) Set(s, t int, c Cell) {
+	mx.check(s, t)
+	if !c.Valid() {
+		panic(fmt.Sprintf("rag: invalid cell value %d", c))
+	}
+	w, b := t/64, uint(t%64)
+	mx.req[s][w] &^= 1 << b
+	mx.grant[s][w] &^= 1 << b
+	switch c {
+	case Request:
+		mx.req[s][w] |= 1 << b
+	case Grant:
+		mx.grant[s][w] |= 1 << b
+	}
+}
+
+// Get reads cell (s,t).
+func (mx *Matrix) Get(s, t int) Cell {
+	mx.check(s, t)
+	w, b := t/64, uint(t%64)
+	switch {
+	case mx.req[s][w]>>b&1 == 1:
+		return Request
+	case mx.grant[s][w]>>b&1 == 1:
+		return Grant
+	}
+	return None
+}
+
+// RowWords exposes the packed request and grant planes for row s.  The
+// returned slices alias the matrix storage; callers must treat them as
+// read-only.  This is the fast path used by the hardware model.
+func (mx *Matrix) RowWords(s int) (req, grant []uint64) {
+	return mx.req[s], mx.grant[s]
+}
+
+// Words returns the number of 64-bit words per row.
+func (mx *Matrix) Words() int { return mx.words }
+
+// lastMask masks off the unused high bits of the final word.
+func (mx *Matrix) lastMask() uint64 {
+	r := uint(mx.N % 64)
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (1 << r) - 1
+}
+
+// Clone returns a deep copy.
+func (mx *Matrix) Clone() *Matrix {
+	c := NewMatrix(mx.M, mx.N)
+	for s := 0; s < mx.M; s++ {
+		copy(c.req[s], mx.req[s])
+		copy(c.grant[s], mx.grant[s])
+	}
+	return c
+}
+
+// Equal reports whether two matrices have identical dimensions and cells.
+func (mx *Matrix) Equal(o *Matrix) bool {
+	if mx.M != o.M || mx.N != o.N {
+		return false
+	}
+	for s := 0; s < mx.M; s++ {
+		for w := 0; w < mx.words; w++ {
+			if mx.req[s][w] != o.req[s][w] || mx.grant[s][w] != o.grant[s][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Empty reports whether the matrix has no edges (complete reduction).
+func (mx *Matrix) Empty() bool {
+	for s := 0; s < mx.M; s++ {
+		for w := 0; w < mx.words; w++ {
+			if mx.req[s][w]|mx.grant[s][w] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Edges returns the number of request and grant edges.
+func (mx *Matrix) Edges() (requests, grants int) {
+	for s := 0; s < mx.M; s++ {
+		for w := 0; w < mx.words; w++ {
+			requests += bits.OnesCount64(mx.req[s][w])
+			grants += bits.OnesCount64(mx.grant[s][w])
+		}
+	}
+	return
+}
+
+// ClearRow zeroes every cell in row s.
+func (mx *Matrix) ClearRow(s int) {
+	for w := 0; w < mx.words; w++ {
+		mx.req[s][w] = 0
+		mx.grant[s][w] = 0
+	}
+}
+
+// ClearColumn zeroes every cell in column t.
+func (mx *Matrix) ClearColumn(t int) {
+	w, b := t/64, uint(t%64)
+	for s := 0; s < mx.M; s++ {
+		mx.req[s][w] &^= 1 << b
+		mx.grant[s][w] &^= 1 << b
+	}
+}
+
+// RowSummary returns the row BWO pair (α^r, α^g) of Equation 3 for row s:
+// whether the row contains any request and any grant edge.
+func (mx *Matrix) RowSummary(s int) (anyReq, anyGrant bool) {
+	for w := 0; w < mx.words; w++ {
+		if mx.req[s][w] != 0 {
+			anyReq = true
+		}
+		if mx.grant[s][w] != 0 {
+			anyGrant = true
+		}
+	}
+	return
+}
+
+// ColumnSummaries returns, for all columns at once, the packed column BWO
+// planes of Equation 3: bit t of anyReq is set iff column t contains a
+// request edge, likewise for anyGrant.
+func (mx *Matrix) ColumnSummaries() (anyReq, anyGrant []uint64) {
+	anyReq = make([]uint64, mx.words)
+	anyGrant = make([]uint64, mx.words)
+	for s := 0; s < mx.M; s++ {
+		for w := 0; w < mx.words; w++ {
+			anyReq[w] |= mx.req[s][w]
+			anyGrant[w] |= mx.grant[s][w]
+		}
+	}
+	anyReq[mx.words-1] &= mx.lastMask()
+	anyGrant[mx.words-1] &= mx.lastMask()
+	return
+}
+
+// Validate checks the single-unit resource invariant (at most one grant per
+// row) and returns a non-nil error describing the first violation.
+func (mx *Matrix) Validate() error {
+	for s := 0; s < mx.M; s++ {
+		grants := 0
+		for w := 0; w < mx.words; w++ {
+			grants += bits.OnesCount64(mx.grant[s][w])
+		}
+		if grants > 1 {
+			return fmt.Errorf("rag: resource q%d granted to %d processes", s+1, grants)
+		}
+	}
+	return nil
+}
+
+// String renders the matrix in the style of the paper's Figure 11, with
+// resource rows q1..qm and process columns p1..pn.
+func (mx *Matrix) String() string {
+	var b strings.Builder
+	b.WriteString("     ")
+	for t := 0; t < mx.N; t++ {
+		fmt.Fprintf(&b, "p%-3d", t+1)
+	}
+	b.WriteString("\n")
+	for s := 0; s < mx.M; s++ {
+		fmt.Fprintf(&b, "q%-3d ", s+1)
+		for t := 0; t < mx.N; t++ {
+			fmt.Fprintf(&b, "%-4s", mx.Get(s, t))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Graph is the RAG γ_ij as an explicit edge structure with the single-unit
+// resource invariant enforced.  Processes and resources are 0-based indices.
+type Graph struct {
+	m, n    int
+	grantTo []int    // grantTo[s] = process holding q_s, or -1
+	reqs    [][]bool // reqs[s][t]: p_t requests q_s
+}
+
+// NewGraph returns an empty RAG with m resources and n processes.
+func NewGraph(m, n int) *Graph {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("rag: invalid graph size %dx%d", m, n))
+	}
+	g := &Graph{m: m, n: n, grantTo: make([]int, m), reqs: make([][]bool, m)}
+	for s := range g.grantTo {
+		g.grantTo[s] = -1
+		g.reqs[s] = make([]bool, n)
+	}
+	return g
+}
+
+// Size returns (resources, processes).
+func (g *Graph) Size() (m, n int) { return g.m, g.n }
+
+func (g *Graph) checkRes(s int) {
+	if s < 0 || s >= g.m {
+		panic(fmt.Sprintf("rag: resource %d out of range", s))
+	}
+}
+
+func (g *Graph) checkProc(t int) {
+	if t < 0 || t >= g.n {
+		panic(fmt.Sprintf("rag: process %d out of range", t))
+	}
+}
+
+// Holder returns the process holding resource s, or -1 if s is free.
+func (g *Graph) Holder(s int) int {
+	g.checkRes(s)
+	return g.grantTo[s]
+}
+
+// Requesting reports whether process t has an outstanding request for s.
+func (g *Graph) Requesting(s, t int) bool {
+	g.checkRes(s)
+	g.checkProc(t)
+	return g.reqs[s][t]
+}
+
+// AddRequest records request edge (p_t, q_s).  Idempotent.
+func (g *Graph) AddRequest(s, t int) {
+	g.checkRes(s)
+	g.checkProc(t)
+	g.reqs[s][t] = true
+}
+
+// RemoveRequest deletes the request edge (p_t, q_s) if present.
+func (g *Graph) RemoveRequest(s, t int) {
+	g.checkRes(s)
+	g.checkProc(t)
+	g.reqs[s][t] = false
+}
+
+// SetGrant grants q_s to p_t, clearing p_t's request edge for q_s.  It
+// returns an error if q_s is already held by a different process.
+func (g *Graph) SetGrant(s, t int) error {
+	g.checkRes(s)
+	g.checkProc(t)
+	if h := g.grantTo[s]; h != -1 && h != t {
+		return fmt.Errorf("rag: resource q%d already granted to p%d", s+1, h+1)
+	}
+	g.grantTo[s] = t
+	g.reqs[s][t] = false
+	return nil
+}
+
+// Release frees resource q_s.  It returns an error if q_s is not held by p_t
+// (Assumption 2: a resource can be released only by its holder).
+func (g *Graph) Release(s, t int) error {
+	g.checkRes(s)
+	g.checkProc(t)
+	if g.grantTo[s] != t {
+		return fmt.Errorf("rag: p%d cannot release q%d held by p%d", t+1, s+1, g.grantTo[s]+1)
+	}
+	g.grantTo[s] = -1
+	return nil
+}
+
+// Requesters returns the processes with request edges to q_s, ascending.
+func (g *Graph) Requesters(s int) []int {
+	g.checkRes(s)
+	var out []int
+	for t, r := range g.reqs[s] {
+		if r {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// HeldBy returns the resources currently granted to process t, ascending.
+func (g *Graph) HeldBy(t int) []int {
+	g.checkProc(t)
+	var out []int
+	for s := 0; s < g.m; s++ {
+		if g.grantTo[s] == t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RequestedBy returns the resources process t is waiting for, ascending.
+func (g *Graph) RequestedBy(t int) []int {
+	g.checkProc(t)
+	var out []int
+	for s := 0; s < g.m; s++ {
+		if g.reqs[s][t] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Matrix converts the graph to its state matrix (Definition 6).  A cell where
+// both a grant and a request would coincide cannot arise because SetGrant
+// clears the holder's request edge.
+func (g *Graph) Matrix() *Matrix {
+	mx := NewMatrix(g.m, g.n)
+	for s := 0; s < g.m; s++ {
+		for t := 0; t < g.n; t++ {
+			if g.reqs[s][t] {
+				mx.Set(s, t, Request)
+			}
+		}
+		if h := g.grantTo[s]; h != -1 {
+			mx.Set(s, h, Grant)
+		}
+	}
+	return mx
+}
+
+// FromMatrix reconstructs a Graph from a matrix, enforcing the single-grant
+// invariant.
+func FromMatrix(mx *Matrix) (*Graph, error) {
+	if err := mx.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph(mx.M, mx.N)
+	for s := 0; s < mx.M; s++ {
+		for t := 0; t < mx.N; t++ {
+			switch mx.Get(s, t) {
+			case Request:
+				g.AddRequest(s, t)
+			case Grant:
+				if err := g.SetGrant(s, t); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.m, g.n)
+	copy(c.grantTo, g.grantTo)
+	for s := 0; s < g.m; s++ {
+		copy(c.reqs[s], g.reqs[s])
+	}
+	return c
+}
+
+// HasCycle is the reference deadlock oracle: it reports whether the RAG
+// contains a directed cycle, using iterative DFS over the bipartite digraph
+// (request edge p→q, grant edge q→p).  For the paper's single-unit resource
+// model, deadlock exists iff a cycle exists (the theorem PDDA is proven
+// against in GIT-CC-03-41).
+func (g *Graph) HasCycle() bool {
+	// Node ids: processes 0..n-1, resources n..n+m-1.
+	total := g.n + g.m
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, total)
+	// succ returns the successor list of node v.
+	succ := func(v int) []int {
+		var out []int
+		if v < g.n {
+			// process: request edges p -> q
+			for s := 0; s < g.m; s++ {
+				if g.reqs[s][v] {
+					out = append(out, g.n+s)
+				}
+			}
+		} else {
+			s := v - g.n
+			if h := g.grantTo[s]; h != -1 {
+				out = append(out, h)
+			}
+		}
+		return out
+	}
+	type frame struct {
+		v    int
+		next []int
+	}
+	for start := 0; start < total; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{start, succ(start)}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if len(f.next) == 0 {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			w := f.next[0]
+			f.next = f.next[1:]
+			switch color[w] {
+			case gray:
+				return true
+			case white:
+				color[w] = gray
+				stack = append(stack, frame{w, succ(w)})
+			}
+		}
+	}
+	return false
+}
+
+// DeadlockedProcesses returns the set of processes on or reachable into a
+// cycle, i.e. processes whose wait can never be satisfied.  Computed by
+// repeatedly discarding processes that are not blocked, and resources whose
+// holders are discarded — the graph-side equivalent of terminal reduction.
+func (g *Graph) DeadlockedProcesses() []int {
+	w := g.Clone()
+	for {
+		removed := false
+		for s := 0; s < w.m; s++ {
+			anyReq := false
+			for t := 0; t < w.n; t++ {
+				if w.reqs[s][t] {
+					anyReq = true
+					break
+				}
+			}
+			// A granted resource with no requesters does not block anyone:
+			// drop the grant edge.
+			if !anyReq && w.grantTo[s] != -1 {
+				w.grantTo[s] = -1
+				removed = true
+			}
+		}
+		for t := 0; t < w.n; t++ {
+			blocked := false
+			for s := 0; s < w.m; s++ {
+				if w.reqs[s][t] {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				// An unblocked process can eventually release everything it
+				// holds and withdraw: drop its grant edges.
+				for s := 0; s < w.m; s++ {
+					if w.grantTo[s] == t {
+						w.grantTo[s] = -1
+						removed = true
+					}
+				}
+			}
+		}
+		// Requests to free resources can be satisfied once granted resources
+		// cycle back; drop request edges to resources held by nobody.
+		for s := 0; s < w.m; s++ {
+			if w.grantTo[s] == -1 {
+				for t := 0; t < w.n; t++ {
+					if w.reqs[s][t] {
+						w.reqs[s][t] = false
+						removed = true
+					}
+				}
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	var out []int
+	for t := 0; t < w.n; t++ {
+		for s := 0; s < w.m; s++ {
+			if w.reqs[s][t] {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Random returns a random RAG drawn edge-by-edge: each resource is granted to
+// a uniformly random process with probability pGrant, and each (s,t) pair
+// gains a request edge with probability pReq (skipping the holder).
+func Random(rng *rand.Rand, m, n int, pGrant, pReq float64) *Graph {
+	g := NewGraph(m, n)
+	for s := 0; s < m; s++ {
+		if rng.Float64() < pGrant {
+			if err := g.SetGrant(s, rng.Intn(n)); err != nil {
+				panic(err) // unreachable: fresh resource
+			}
+		}
+		for t := 0; t < n; t++ {
+			if g.grantTo[s] != t && rng.Float64() < pReq {
+				g.AddRequest(s, t)
+			}
+		}
+	}
+	return g
+}
+
+// Chain builds the adversarial "chain" RAG that maximizes the number of
+// terminal reduction steps: p1→q1→p2→q2→…, a single long dependency path
+// with no cycle.  Used for worst-case iteration measurements (Table 1).
+func Chain(m, n int) *Graph {
+	g := NewGraph(m, n)
+	k := m
+	if n < k {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		// q_i granted to p_i
+		if err := g.SetGrant(i, i); err != nil {
+			panic(err)
+		}
+		// p_i requests q_{i+1} (except the last, which is unblocked)
+		if i+1 < k {
+			g.AddRequest(i+1, i)
+		}
+	}
+	return g
+}
+
+// CycleGraph builds a k-cycle deadlock: p_i holds q_i and requests q_{i+1
+// mod k}.  Requires k <= min(m,n) and k >= 2.
+func CycleGraph(m, n, k int) *Graph {
+	if k < 2 || k > m || k > n {
+		panic(fmt.Sprintf("rag: cycle length %d does not fit %dx%d", k, m, n))
+	}
+	g := NewGraph(m, n)
+	for i := 0; i < k; i++ {
+		if err := g.SetGrant(i, i); err != nil {
+			panic(err)
+		}
+		g.AddRequest((i+1)%k, i)
+	}
+	return g
+}

@@ -1,0 +1,227 @@
+package rtos
+
+// IPC primitives of Atalanta v0.3 (Section 2.1): mailboxes (single-slot),
+// message queues (bounded FIFO) and event flag groups.
+
+// Mailbox is a single-slot message box: Send blocks while full, Recv blocks
+// while empty.
+type Mailbox struct {
+	k       *Kernel
+	Name    string
+	msg     interface{}
+	full    bool
+	readers []*Task
+	writers []*Task
+	// Instrumentation.
+	Sends, Recvs int
+}
+
+// NewMailbox creates an empty mailbox.
+func (k *Kernel) NewMailbox(name string) *Mailbox {
+	return &Mailbox{k: k, Name: name}
+}
+
+// Send deposits msg, blocking while the box is full.
+func (m *Mailbox) Send(c *TaskCtx, msg interface{}) {
+	c.serviceOverhead(4)
+	t := c.t
+	for m.full {
+		m.writers = insertByPriority(m.writers, t)
+		c.k.blockCurrent(t, "mbox-send:"+m.Name)
+		for t.state == StateBlocked {
+			t.sig.Wait(c.p)
+		}
+		c.ensureRunning()
+	}
+	m.msg = msg
+	m.full = true
+	m.Sends++
+	if len(m.readers) > 0 {
+		r := m.readers[0]
+		m.readers = m.readers[1:]
+		c.k.makeReady(r)
+	}
+}
+
+// Recv takes the message, blocking while the box is empty.
+func (m *Mailbox) Recv(c *TaskCtx) interface{} {
+	c.serviceOverhead(4)
+	t := c.t
+	for !m.full {
+		m.readers = insertByPriority(m.readers, t)
+		c.k.blockCurrent(t, "mbox-recv:"+m.Name)
+		for t.state == StateBlocked {
+			t.sig.Wait(c.p)
+		}
+		c.ensureRunning()
+	}
+	msg := m.msg
+	m.msg = nil
+	m.full = false
+	m.Recvs++
+	if len(m.writers) > 0 {
+		w := m.writers[0]
+		m.writers = m.writers[1:]
+		c.k.makeReady(w)
+	}
+	return msg
+}
+
+// TryRecv takes the message without blocking; ok reports success.
+func (m *Mailbox) TryRecv(c *TaskCtx) (msg interface{}, ok bool) {
+	c.serviceOverhead(3)
+	if !m.full {
+		return nil, false
+	}
+	msg = m.msg
+	m.msg = nil
+	m.full = false
+	m.Recvs++
+	if len(m.writers) > 0 {
+		w := m.writers[0]
+		m.writers = m.writers[1:]
+		c.k.makeReady(w)
+	}
+	return msg, true
+}
+
+// Queue is a bounded FIFO message queue.
+type Queue struct {
+	k       *Kernel
+	Name    string
+	cap     int
+	items   []interface{}
+	readers []*Task
+	writers []*Task
+	// Instrumentation.
+	Sends, Recvs, HighWater int
+}
+
+// NewQueue creates a queue with the given capacity.
+func (k *Kernel) NewQueue(name string, capacity int) *Queue {
+	if capacity <= 0 {
+		panic("rtos: queue capacity must be positive")
+	}
+	return &Queue{k: k, Name: name, cap: capacity}
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Send enqueues msg, blocking while the queue is full.
+func (q *Queue) Send(c *TaskCtx, msg interface{}) {
+	c.serviceOverhead(4)
+	t := c.t
+	for len(q.items) == q.cap {
+		q.writers = insertByPriority(q.writers, t)
+		c.k.blockCurrent(t, "queue-send:"+q.Name)
+		for t.state == StateBlocked {
+			t.sig.Wait(c.p)
+		}
+		c.ensureRunning()
+	}
+	q.items = append(q.items, msg)
+	if len(q.items) > q.HighWater {
+		q.HighWater = len(q.items)
+	}
+	q.Sends++
+	if len(q.readers) > 0 {
+		r := q.readers[0]
+		q.readers = q.readers[1:]
+		c.k.makeReady(r)
+	}
+}
+
+// Recv dequeues a message, blocking while the queue is empty.
+func (q *Queue) Recv(c *TaskCtx) interface{} {
+	c.serviceOverhead(4)
+	t := c.t
+	for len(q.items) == 0 {
+		q.readers = insertByPriority(q.readers, t)
+		c.k.blockCurrent(t, "queue-recv:"+q.Name)
+		for t.state == StateBlocked {
+			t.sig.Wait(c.p)
+		}
+		c.ensureRunning()
+	}
+	msg := q.items[0]
+	q.items = q.items[1:]
+	q.Recvs++
+	if len(q.writers) > 0 {
+		w := q.writers[0]
+		q.writers = q.writers[1:]
+		c.k.makeReady(w)
+	}
+	return msg
+}
+
+// EventFlags is a group of 32 event bits with wait-any/wait-all semantics.
+type EventFlags struct {
+	k     *Kernel
+	Name  string
+	bits  uint32
+	waits []*eventWait
+	// Instrumentation.
+	Sets, Waits int
+}
+
+type eventWait struct {
+	t    *Task
+	mask uint32
+	all  bool
+}
+
+// NewEventFlags creates an event group with all bits clear.
+func (k *Kernel) NewEventFlags(name string) *EventFlags {
+	return &EventFlags{k: k, Name: name}
+}
+
+// Bits returns the current flag bits.
+func (e *EventFlags) Bits() uint32 { return e.bits }
+
+func (w *eventWait) satisfied(bits uint32) bool {
+	if w.all {
+		return bits&w.mask == w.mask
+	}
+	return bits&w.mask != 0
+}
+
+// Set asserts the bits in mask and releases satisfied waiters.
+func (e *EventFlags) Set(c *TaskCtx, mask uint32) {
+	c.serviceOverhead(3)
+	e.bits |= mask
+	e.Sets++
+	remaining := e.waits[:0]
+	for _, w := range e.waits {
+		if w.satisfied(e.bits) {
+			c.k.makeReady(w.t)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	e.waits = remaining
+}
+
+// Clear deasserts the bits in mask.
+func (e *EventFlags) Clear(c *TaskCtx, mask uint32) {
+	c.serviceOverhead(3)
+	e.bits &^= mask
+}
+
+// Wait blocks until the mask condition is met (any bit when all is false,
+// every bit when all is true).  The satisfied bits are NOT auto-cleared.
+func (e *EventFlags) Wait(c *TaskCtx, mask uint32, all bool) uint32 {
+	c.serviceOverhead(3)
+	e.Waits++
+	t := c.t
+	w := &eventWait{t: t, mask: mask, all: all}
+	for !w.satisfied(e.bits) {
+		e.waits = append(e.waits, w)
+		c.k.blockCurrent(t, "events:"+e.Name)
+		for t.state == StateBlocked {
+			t.sig.Wait(c.p)
+		}
+		c.ensureRunning()
+	}
+	return e.bits & mask
+}

@@ -1,0 +1,234 @@
+package rtos
+
+import (
+	"testing"
+
+	"deltartos/internal/sim"
+)
+
+func TestMailboxSendRecv(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	mb := k.NewMailbox("mb")
+	var got interface{}
+	var at sim.Cycles
+	k.CreateTask("rx", 0, 1, 0, func(c *TaskCtx) {
+		got = mb.Recv(c)
+		at = c.Now()
+	})
+	k.CreateTask("tx", 1, 1, 0, func(c *TaskCtx) {
+		c.Compute(1500)
+		mb.Send(c, "frame-7")
+	})
+	s.Run()
+	if got != "frame-7" {
+		t.Errorf("got %v", got)
+	}
+	if at < 1500 {
+		t.Errorf("received at %d", at)
+	}
+	if mb.Sends != 1 || mb.Recvs != 1 {
+		t.Errorf("counters: %d/%d", mb.Sends, mb.Recvs)
+	}
+}
+
+func TestMailboxSendBlocksWhenFull(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	mb := k.NewMailbox("mb")
+	var secondSendAt sim.Cycles
+	k.CreateTask("tx", 0, 1, 0, func(c *TaskCtx) {
+		mb.Send(c, 1)
+		mb.Send(c, 2) // blocks until rx drains
+		secondSendAt = c.Now()
+	})
+	k.CreateTask("rx", 1, 1, 0, func(c *TaskCtx) {
+		c.Compute(5000)
+		if v := mb.Recv(c); v != 1 {
+			t.Errorf("first recv = %v", v)
+		}
+		if v := mb.Recv(c); v != 2 {
+			t.Errorf("second recv = %v", v)
+		}
+	})
+	s.Run()
+	if secondSendAt < 5000 {
+		t.Errorf("second send completed at %d (did not block)", secondSendAt)
+	}
+	if !s.AllDone() {
+		t.Errorf("blocked: %v", s.Blocked())
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 1)
+	mb := k.NewMailbox("mb")
+	var emptyOK, fullOK bool
+	var val interface{}
+	k.CreateTask("a", 0, 1, 0, func(c *TaskCtx) {
+		_, emptyOK = mb.TryRecv(c)
+		mb.Send(c, 9)
+		val, fullOK = mb.TryRecv(c)
+	})
+	s.Run()
+	if emptyOK {
+		t.Error("TryRecv on empty box succeeded")
+	}
+	if !fullOK || val != 9 {
+		t.Errorf("TryRecv on full box: %v %v", val, fullOK)
+	}
+}
+
+func TestQueueFIFOOrder(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	q := k.NewQueue("q", 4)
+	var got []int
+	k.CreateTask("tx", 0, 1, 0, func(c *TaskCtx) {
+		for i := 1; i <= 4; i++ {
+			q.Send(c, i)
+		}
+	})
+	k.CreateTask("rx", 1, 2, 100, func(c *TaskCtx) {
+		for i := 0; i < 4; i++ {
+			got = append(got, q.Recv(c).(int))
+		}
+	})
+	s.Run()
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+	if q.HighWater == 0 {
+		t.Error("high-water mark not tracked")
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	q := k.NewQueue("q", 2)
+	var thirdAt sim.Cycles
+	k.CreateTask("tx", 0, 1, 0, func(c *TaskCtx) {
+		q.Send(c, 1)
+		q.Send(c, 2)
+		q.Send(c, 3)
+		thirdAt = c.Now()
+	})
+	k.CreateTask("rx", 1, 1, 0, func(c *TaskCtx) {
+		c.Compute(4000)
+		q.Recv(c)
+		q.Recv(c)
+		q.Recv(c)
+	})
+	s.Run()
+	if thirdAt < 4000 {
+		t.Errorf("third send at %d (no backpressure)", thirdAt)
+	}
+}
+
+func TestQueueCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewKernel(sim.New(), 1).NewQueue("bad", 0)
+}
+
+func TestQueueRecvBlocksWhenEmpty(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	q := k.NewQueue("q", 2)
+	var at sim.Cycles
+	k.CreateTask("rx", 0, 1, 0, func(c *TaskCtx) {
+		q.Recv(c)
+		at = c.Now()
+	})
+	k.CreateTask("tx", 1, 1, 0, func(c *TaskCtx) {
+		c.Compute(2500)
+		q.Send(c, "x")
+	})
+	s.Run()
+	if at < 2500 {
+		t.Errorf("recv returned at %d", at)
+	}
+}
+
+func TestEventFlagsWaitAny(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	e := k.NewEventFlags("ev")
+	var got uint32
+	k.CreateTask("waiter", 0, 1, 0, func(c *TaskCtx) {
+		got = e.Wait(c, 0b110, false)
+	})
+	k.CreateTask("setter", 1, 1, 0, func(c *TaskCtx) {
+		c.Compute(100)
+		e.Set(c, 0b001) // not in mask: waiter stays blocked
+		c.Compute(100)
+		e.Set(c, 0b010)
+	})
+	s.Run()
+	if got != 0b010 {
+		t.Errorf("Wait returned %03b", got)
+	}
+}
+
+func TestEventFlagsWaitAll(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 2)
+	e := k.NewEventFlags("ev")
+	var doneAt sim.Cycles
+	k.CreateTask("waiter", 0, 1, 0, func(c *TaskCtx) {
+		e.Wait(c, 0b11, true)
+		doneAt = c.Now()
+	})
+	k.CreateTask("setter", 1, 1, 0, func(c *TaskCtx) {
+		c.Compute(100)
+		e.Set(c, 0b01)
+		c.Compute(900)
+		e.Set(c, 0b10)
+	})
+	s.Run()
+	if doneAt < 1000 {
+		t.Errorf("wait-all satisfied early at %d", doneAt)
+	}
+}
+
+func TestEventFlagsClear(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 1)
+	e := k.NewEventFlags("ev")
+	var bitsAfter uint32
+	k.CreateTask("a", 0, 1, 0, func(c *TaskCtx) {
+		e.Set(c, 0b111)
+		e.Clear(c, 0b010)
+		bitsAfter = e.Bits()
+	})
+	s.Run()
+	if bitsAfter != 0b101 {
+		t.Errorf("bits = %03b", bitsAfter)
+	}
+}
+
+func TestEventFlagsAlreadySatisfied(t *testing.T) {
+	s := sim.New()
+	k := NewKernel(s, 1)
+	e := k.NewEventFlags("ev")
+	var ok bool
+	k.CreateTask("a", 0, 1, 0, func(c *TaskCtx) {
+		e.Set(c, 0b1)
+		e.Wait(c, 0b1, false) // returns immediately
+		ok = true
+	})
+	s.Run()
+	if !ok {
+		t.Error("pre-satisfied wait blocked")
+	}
+}

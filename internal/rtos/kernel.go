@@ -1,0 +1,585 @@
+// Package rtos implements an Atalanta-like shared-memory multiprocessor RTOS
+// kernel (Sun, Blough & Mooney, GIT-CC-02-19) on top of the MPSoC simulator:
+// the software half of every configured system in Table 3.
+//
+// Like Atalanta v0.3, the kernel code and all kernel structures live in
+// shared L2 memory: every processing element executes the same kernel and
+// every kernel service pays for its shared-memory accesses over the bus.
+// Supported services mirror the paper's Section 2.1 list: task management
+// (create/suspend/resume), priority scheduling with priority inheritance as
+// well as round-robin within a priority level, semaphores, mutexes,
+// mailboxes, message queues, event flags, and interrupt-driven device waits.
+//
+// Priorities: smaller number = more important ("task_1 has priority 1, the
+// highest" in Section 5.5).
+package rtos
+
+import (
+	"fmt"
+
+	"deltartos/internal/sim"
+)
+
+// TaskState enumerates the TCB states.
+type TaskState int
+
+// Task states.
+const (
+	StateDormant TaskState = iota
+	StateReady
+	StateRunning
+	StateBlocked
+	StateSleeping
+	StateSuspended
+	StateDone
+)
+
+func (st TaskState) String() string {
+	switch st {
+	case StateDormant:
+		return "dormant"
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateSleeping:
+		return "sleeping"
+	case StateSuspended:
+		return "suspended"
+	case StateDone:
+		return "done"
+	}
+	return fmt.Sprintf("TaskState(%d)", int(st))
+}
+
+// Task is a task control block.
+type Task struct {
+	k        *Kernel
+	ID       int
+	Name     string
+	PE       int
+	BasePrio int
+	CurPrio  int // may be raised by priority inheritance / ceiling
+	state    TaskState
+
+	proc      *sim.Proc
+	sig       *sim.Signal // the task's private wake channel
+	body      func(c *TaskCtx)
+	startAt   sim.Cycles
+	gen       uint64 // sleep-timer generation guard
+	sleeping  bool   // parked inside an interruptible Compute chunk
+	needCtx   bool   // charge a context switch on next resume
+	waitingOn *Mutex // PI mutex the task is blocked on (inheritance chains)
+
+	// Instrumentation.
+	CPUCycles     sim.Cycles
+	Preemptions   int
+	FinishedAt    sim.Cycles
+	finishedValid bool
+	blockedOn     string
+}
+
+// State returns the task's current scheduling state.
+func (t *Task) State() TaskState { return t.state }
+
+// BlockedOn names the object the task is blocked on ("" when not blocked).
+func (t *Task) BlockedOn() string { return t.blockedOn }
+
+// Finished reports whether the task body ran to completion, and when.
+func (t *Task) Finished() (sim.Cycles, bool) { return t.FinishedAt, t.finishedValid }
+
+// Kernel is the shared RTOS instance.
+type Kernel struct {
+	S     *sim.Sim
+	numPE int
+
+	current []*Task   // per-PE running task
+	ready   [][]*Task // per-PE ready queue, priority order then FIFO
+	tasks   []*Task
+	quantum []sim.Cycles // per-PE round-robin time slice (0 = disabled)
+
+	memAlloc MemAllocFn
+	memFree  MemFreeFn
+
+	// Instrumentation.
+	ContextSwitches int
+	ServiceCalls    int
+	// TraceFn, when set, receives scheduling trace records (Figure 20-style
+	// execution traces).
+	TraceFn func(ev TraceEvent)
+}
+
+// TraceEvent is one scheduling trace record.
+type TraceEvent struct {
+	Time sim.Cycles
+	PE   int
+	Task string
+	What string // "dispatch", "preempt", "block", "exit", ...
+}
+
+// NewKernel builds a kernel for numPE processing elements.
+func NewKernel(s *sim.Sim, numPE int) *Kernel {
+	if numPE <= 0 {
+		panic("rtos: need at least one PE")
+	}
+	return &Kernel{
+		S:       s,
+		numPE:   numPE,
+		current: make([]*Task, numPE),
+		ready:   make([][]*Task, numPE),
+	}
+}
+
+// NumPE returns the number of processing elements.
+func (k *Kernel) NumPE() int { return k.numPE }
+
+// Tasks returns all created tasks.
+func (k *Kernel) Tasks() []*Task { return k.tasks }
+
+func (k *Kernel) trace(pe int, task, what string) {
+	if k.TraceFn != nil {
+		k.TraceFn(TraceEvent{Time: k.S.Now(), PE: pe, Task: task, What: what})
+	}
+}
+
+// CreateTask registers a task pinned to a PE with a base priority, starting
+// at sim time startAt.  Smaller prio = more important.
+func (k *Kernel) CreateTask(name string, pe, prio int, startAt sim.Cycles, body func(c *TaskCtx)) *Task {
+	if pe < 0 || pe >= k.numPE {
+		panic(fmt.Sprintf("rtos: task %q pinned to invalid PE %d", name, pe))
+	}
+	t := &Task{
+		k: k, ID: len(k.tasks), Name: name, PE: pe,
+		BasePrio: prio, CurPrio: prio,
+		state: StateDormant, startAt: startAt, body: body,
+	}
+	k.tasks = append(k.tasks, t)
+	t.sig = k.S.NewSignal("task." + name)
+	t.proc = k.S.Spawn("task."+name, pe, func(p *sim.Proc) {
+		if t.startAt > 0 {
+			p.Delay(t.startAt)
+		}
+		k.makeReady(t)
+		c := &TaskCtx{k: k, t: t, p: p}
+		c.ensureRunning()
+		t.body(c)
+		k.exitTask(t)
+	})
+	return t
+}
+
+// readyInsert places t into its PE's ready queue in priority order, FIFO
+// within equal priority (round-robin order).  front inserts ahead of equal
+// priorities (used for preempted tasks, which keep their slice position).
+func (k *Kernel) readyInsert(t *Task, front bool) {
+	q := k.ready[t.PE]
+	i := 0
+	for i < len(q) {
+		if q[i].CurPrio > t.CurPrio || (front && q[i].CurPrio == t.CurPrio) {
+			break
+		}
+		i++
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = t
+	k.ready[t.PE] = q
+}
+
+func (k *Kernel) readyRemove(t *Task) {
+	q := k.ready[t.PE]
+	for i, x := range q {
+		if x == t {
+			k.ready[t.PE] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+}
+
+// makeReady moves a dormant/blocked/sleeping task to ready and reschedules
+// its PE (preempting if the task outranks the current one).
+func (k *Kernel) makeReady(t *Task) {
+	if t.state == StateReady || t.state == StateRunning || t.state == StateDone {
+		return
+	}
+	t.state = StateReady
+	t.blockedOn = ""
+	pe := t.PE
+	cur := k.current[pe]
+	if cur == nil {
+		k.dispatch(pe, t)
+		return
+	}
+	if t.CurPrio < cur.CurPrio {
+		k.preempt(pe, t)
+		return
+	}
+	k.readyInsert(t, false)
+}
+
+// dispatch makes t the running task of pe and wakes it.
+func (k *Kernel) dispatch(pe int, t *Task) {
+	k.current[pe] = t
+	t.state = StateRunning
+	t.needCtx = true
+	k.ContextSwitches++
+	k.trace(pe, t.Name, "dispatch")
+	t.sig.WakeAll()
+}
+
+// preempt replaces pe's current task with t.
+func (k *Kernel) preempt(pe int, t *Task) {
+	old := k.current[pe]
+	old.state = StateReady
+	old.Preemptions++
+	k.readyInsert(old, true)
+	k.trace(pe, old.Name, "preempt")
+	k.current[pe] = t
+	t.state = StateRunning
+	t.needCtx = true
+	k.ContextSwitches++
+	k.trace(pe, t.Name, "dispatch")
+	// Interrupt old's compute chunk so it stops accumulating CPU time, then
+	// start the new task.
+	if old.sleeping {
+		old.sig.WakeAll()
+	}
+	t.sig.WakeAll()
+}
+
+// reschedule releases pe from its current task and dispatches the best ready
+// task, if any.
+func (k *Kernel) reschedule(pe int) {
+	k.current[pe] = nil
+	q := k.ready[pe]
+	if len(q) == 0 {
+		return
+	}
+	t := q[0]
+	k.ready[pe] = q[1:]
+	k.dispatch(pe, t)
+}
+
+// exitTask terminates the current task.
+func (k *Kernel) exitTask(t *Task) {
+	t.state = StateDone
+	t.FinishedAt = k.S.Now()
+	t.finishedValid = true
+	k.trace(t.PE, t.Name, "exit")
+	if k.current[t.PE] == t {
+		k.reschedule(t.PE)
+	}
+}
+
+// blockCurrent parks the PE's current task (state Blocked, on `what`) and
+// dispatches the next ready task.  Must be called from t's own context.
+func (k *Kernel) blockCurrent(t *Task, what string) {
+	t.state = StateBlocked
+	t.blockedOn = what
+	k.trace(t.PE, t.Name, "block:"+what)
+	if k.current[t.PE] == t {
+		k.reschedule(t.PE)
+	}
+}
+
+// setPriority changes a task's effective priority, repositioning it in the
+// ready queue or triggering preemption as needed (priority inheritance and
+// ceiling protocols use this).
+func (k *Kernel) setPriority(t *Task, prio int) {
+	if t.CurPrio == prio {
+		return
+	}
+	t.CurPrio = prio
+	switch t.state {
+	case StateReady:
+		k.readyRemove(t)
+		k.readyInsert(t, false)
+		// A raised ready task may now outrank its PE's current task.
+		cur := k.current[t.PE]
+		if cur != nil && t.CurPrio < cur.CurPrio {
+			k.readyRemove(t)
+			k.preempt(t.PE, t)
+		}
+	case StateRunning:
+		// A lowered running task may have to yield to a ready one.
+		q := k.ready[t.PE]
+		if len(q) > 0 && q[0].CurPrio < t.CurPrio {
+			next := q[0]
+			k.ready[t.PE] = q[1:]
+			k.preempt(t.PE, next)
+		}
+	}
+}
+
+// Deadlocked returns the names of tasks blocked when the simulation drained.
+func (k *Kernel) Deadlocked() []string {
+	var out []string
+	for _, t := range k.tasks {
+		if t.state == StateBlocked {
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// TaskCtx is the view a task body has of the kernel.
+type TaskCtx struct {
+	k *Kernel
+	t *Task
+	p *sim.Proc
+}
+
+// Task returns the TCB.
+func (c *TaskCtx) Task() *Task { return c.t }
+
+// Kernel returns the owning kernel.
+func (c *TaskCtx) Kernel() *Kernel { return c.k }
+
+// Proc returns the underlying simulation proc.
+func (c *TaskCtx) Proc() *sim.Proc { return c.p }
+
+// Now returns the current time.
+func (c *TaskCtx) Now() sim.Cycles { return c.p.Now() }
+
+// ensureRunning parks the task until the scheduler has selected it, then
+// charges any pending context-switch cost.  The check re-runs after the
+// context-switch delay: a preemption may land inside it.
+func (c *TaskCtx) ensureRunning() {
+	t := c.t
+	for {
+		if c.k.current[t.PE] == t {
+			if !t.needCtx {
+				return
+			}
+			t.needCtx = false
+			c.p.Delay(sim.ContextSwitchCycles)
+			t.CPUCycles += sim.ContextSwitchCycles
+			continue
+		}
+		t.sig.Wait(c.p)
+	}
+}
+
+// Compute consumes n cycles of CPU time, preemptibly: if a higher-priority
+// task takes the PE mid-chunk, the remainder is executed after the task is
+// re-dispatched.
+func (c *TaskCtx) Compute(n sim.Cycles) {
+	t := c.t
+	remaining := n
+	for remaining > 0 {
+		c.ensureRunning()
+		start := c.p.Now()
+		t.gen++
+		g := t.gen
+		rem := remaining
+		c.k.S.Spawn(fmt.Sprintf("tmr.%s.%d", t.Name, g), -1, func(tp *sim.Proc) {
+			tp.Delay(rem)
+			if t.gen == g && t.sleeping {
+				t.sig.WakeAll()
+			}
+		})
+		t.sleeping = true
+		t.sig.Wait(c.p)
+		t.sleeping = false
+		elapsed := c.p.Now() - start
+		if elapsed > remaining {
+			elapsed = remaining
+		}
+		t.CPUCycles += elapsed
+		remaining -= elapsed
+	}
+}
+
+// BusRead performs a words-long read over the shared bus.
+func (c *TaskCtx) BusRead(words int) {
+	c.ensureRunning()
+	c.k.S.Bus.Read(c.p, words)
+	c.t.CPUCycles += sim.TransactionCycles(words)
+}
+
+// BusWrite performs a words-long write over the shared bus.
+func (c *TaskCtx) BusWrite(words int) {
+	c.ensureRunning()
+	c.k.S.Bus.Write(c.p, words)
+	c.t.CPUCycles += sim.TransactionCycles(words)
+}
+
+// Sleep blocks the task for dt cycles, freeing the PE.
+func (c *TaskCtx) Sleep(dt sim.Cycles) {
+	c.serviceOverhead(2)
+	t := c.t
+	t.state = StateSleeping
+	c.k.trace(t.PE, t.Name, "sleep")
+	if c.k.current[t.PE] == t {
+		c.k.reschedule(t.PE)
+	}
+	t.gen++
+	g := t.gen
+	c.k.S.Spawn(fmt.Sprintf("slp.%s.%d", t.Name, g), -1, func(tp *sim.Proc) {
+		tp.Delay(dt)
+		if t.gen == g && t.state == StateSleeping {
+			c.k.makeReady(t)
+		}
+	})
+	c.waitUntilRunnable()
+}
+
+// SleepUntil blocks until the given absolute time (no-op if already past).
+func (c *TaskCtx) SleepUntil(deadline sim.Cycles) {
+	now := c.p.Now()
+	if deadline <= now {
+		return
+	}
+	c.Sleep(deadline - now)
+}
+
+// waitUntilRunnable parks until the scheduler runs the task again.
+func (c *TaskCtx) waitUntilRunnable() {
+	c.ensureRunning()
+}
+
+// Yield voluntarily rotates the task to the back of its priority class
+// (round-robin scheduling within a priority level).
+func (c *TaskCtx) Yield() {
+	c.serviceOverhead(2)
+	t := c.t
+	q := c.k.ready[t.PE]
+	if len(q) == 0 || q[0].CurPrio > t.CurPrio {
+		return // nothing of equal or better priority to rotate to
+	}
+	next := q[0]
+	c.k.ready[t.PE] = q[1:]
+	t.state = StateReady
+	c.k.readyInsert(t, false)
+	c.k.trace(t.PE, t.Name, "yield")
+	c.k.dispatch(t.PE, next)
+	c.ensureRunning()
+}
+
+// Suspend parks the task until another task resumes it.
+func (c *TaskCtx) Suspend() {
+	c.serviceOverhead(2)
+	t := c.t
+	t.state = StateSuspended
+	c.k.trace(t.PE, t.Name, "suspend")
+	if c.k.current[t.PE] == t {
+		c.k.reschedule(t.PE)
+	}
+	for t.state == StateSuspended {
+		t.sig.Wait(c.p)
+	}
+	c.ensureRunning()
+}
+
+// Resume moves a suspended task back to ready.
+func (c *TaskCtx) Resume(t *Task) {
+	c.serviceOverhead(2)
+	if t.state != StateSuspended {
+		return
+	}
+	c.k.makeReady(t)
+}
+
+// serviceOverhead charges the fixed cost of a kernel service: trap entry,
+// the kernel spin-lock word (one bus RMW), `words` accesses to kernel
+// structures in shared memory, and exit.
+func (c *TaskCtx) serviceOverhead(words int) {
+	c.ensureRunning()
+	c.k.ServiceCalls++
+	cost := sim.Cycles(sim.KernelEntryCycles + sim.KernelExitCycles + sim.SpinLockProbeCycles)
+	c.p.Delay(cost)
+	c.t.CPUCycles += cost
+	c.k.S.Bus.Transact(c.p, 1) // kernel spin-lock RMW
+	if words > 0 {
+		c.k.S.Bus.Transact(c.p, words)
+	}
+	busC := sim.TransactionCycles(1) + sim.TransactionCycles(words)
+	c.t.CPUCycles += busC
+}
+
+// Park blocks the calling task until some other context calls Unpark on it.
+// `what` names the object waited on (visible in Deadlocked / BlockedOn).
+// Hardware RTOS components (SoCLC, SoCDMMU, DAU drivers) build their blocking
+// primitives from Park/Unpark.
+func (c *TaskCtx) Park(what string) {
+	t := c.t
+	c.k.blockCurrent(t, what)
+	for t.state == StateBlocked {
+		t.sig.Wait(c.p)
+	}
+	c.ensureRunning()
+}
+
+// Unpark moves a parked task back to ready (callable from any context,
+// including non-task simulation procs such as interrupt handlers).
+func (k *Kernel) Unpark(t *Task) {
+	k.makeReady(t)
+}
+
+// SetTaskPriority changes a task's effective priority (the hook the priority
+// inheritance and ceiling protocols use).
+func (k *Kernel) SetTaskPriority(t *Task, prio int) {
+	k.setPriority(t, prio)
+}
+
+// ChargeService charges the calling task the fixed cost of one kernel
+// service accessing `words` words of kernel structures in shared memory.
+func (c *TaskCtx) ChargeService(words int) {
+	c.serviceOverhead(words)
+}
+
+// SetEffectivePriority overrides the calling task's effective priority and
+// returns the previous value.  Short-critical-section code masks preemption
+// this way (the spin-lock discipline: a task holding a spin lock must not be
+// preempted by a spinner on its own PE), restoring the old priority after.
+func (c *TaskCtx) SetEffectivePriority(prio int) int {
+	old := c.t.CurPrio
+	c.k.setPriority(c.t, prio)
+	c.ensureRunning()
+	return old
+}
+
+// ChargeSharedAccesses charges n scattered single-word accesses to kernel
+// structures in shared memory: each is its own bus transaction (3 cycles)
+// plus the per-access instruction overhead of compiled kernel code.  This is
+// the cost shape of structure walks (lock queues, TCB chains), as opposed to
+// the burst transfer ChargeService models.
+func (c *TaskCtx) ChargeSharedAccesses(n int) {
+	c.ensureRunning()
+	for i := 0; i < n; i++ {
+		c.p.Delay(sim.SWAccessOverheadCycles)
+		c.k.S.Bus.Transact(c.p, 1)
+	}
+	cost := sim.Cycles(n) * (sim.SWAccessOverheadCycles + sim.TransactionCycles(1))
+	c.t.CPUCycles += cost
+}
+
+// ChargeCompute charges raw CPU cycles without preemption windows (short
+// non-preemptible code such as interrupt-masked wrapper instructions).
+func (c *TaskCtx) ChargeCompute(n sim.Cycles) {
+	c.ensureRunning()
+	c.p.Delay(n)
+	c.t.CPUCycles += n
+}
+
+// RunOn runs a device job of the given duration, blocking the task (and
+// freeing the PE) until the device raises its completion interrupt.
+func (c *TaskCtx) RunOn(d *sim.Device, duration sim.Cycles) {
+	c.ensureRunning()
+	done := d.Start(c.p, duration)
+	t := c.t
+	t.state = StateBlocked
+	t.blockedOn = d.Name
+	c.k.trace(t.PE, t.Name, "block:"+d.Name)
+	if c.k.current[t.PE] == t {
+		c.k.reschedule(t.PE)
+	}
+	c.k.S.Spawn("isr."+d.Name+"."+t.Name, -1, func(tp *sim.Proc) {
+		done.Wait(tp)
+		tp.Delay(sim.InterruptEntryCycles)
+		c.k.makeReady(t)
+	})
+	c.waitUntilRunnable()
+}

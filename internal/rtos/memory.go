@@ -1,0 +1,42 @@
+package rtos
+
+import "fmt"
+
+// Atalanta's memory-management service (Section 2.1): tasks allocate global
+// L2 memory through the kernel, which forwards to whatever allocator the
+// configured system provides — glibc-style software management or the
+// SoCDMMU (socdmmu.Bind installs either).
+
+// MemAllocFn allocates `bytes` of global memory on behalf of the calling
+// task and returns its address.
+type MemAllocFn func(c *TaskCtx, bytes int) (uint32, error)
+
+// MemFreeFn releases an address previously returned by the allocator.
+type MemFreeFn func(c *TaskCtx, addr uint32) error
+
+// SetMemoryManager installs the system's global memory allocator.
+func (k *Kernel) SetMemoryManager(alloc MemAllocFn, free MemFreeFn) {
+	if alloc == nil || free == nil {
+		panic("rtos: nil memory manager hooks")
+	}
+	k.memAlloc = alloc
+	k.memFree = free
+}
+
+// Alloc requests `bytes` of global memory through the kernel service.
+func (c *TaskCtx) Alloc(bytes int) (uint32, error) {
+	if c.k.memAlloc == nil {
+		return 0, fmt.Errorf("rtos: no memory manager configured")
+	}
+	c.serviceOverhead(2)
+	return c.k.memAlloc(c, bytes)
+}
+
+// Free releases memory obtained with Alloc.
+func (c *TaskCtx) Free(addr uint32) error {
+	if c.k.memFree == nil {
+		return fmt.Errorf("rtos: no memory manager configured")
+	}
+	c.serviceOverhead(2)
+	return c.k.memFree(c, addr)
+}

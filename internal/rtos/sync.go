@@ -1,0 +1,233 @@
+package rtos
+
+import (
+	"fmt"
+
+	"deltartos/internal/sim"
+)
+
+// Semaphore is a counting semaphore with priority-ordered wakeup.
+type Semaphore struct {
+	k       *Kernel
+	Name    string
+	count   int
+	waiters []*Task // priority order, FIFO within priority
+	// Instrumentation.
+	Pends, Posts, Blocks int
+}
+
+// NewSemaphore creates a semaphore with an initial count.
+func (k *Kernel) NewSemaphore(name string, initial int) *Semaphore {
+	if initial < 0 {
+		panic("rtos: negative semaphore count")
+	}
+	return &Semaphore{k: k, Name: name, count: initial}
+}
+
+// Count returns the current count.
+func (s *Semaphore) Count() int { return s.count }
+
+func insertByPriority(ws []*Task, t *Task) []*Task {
+	i := 0
+	for i < len(ws) && ws[i].CurPrio <= t.CurPrio {
+		i++
+	}
+	ws = append(ws, nil)
+	copy(ws[i+1:], ws[i:])
+	ws[i] = t
+	return ws
+}
+
+func removeTask(ws []*Task, t *Task) ([]*Task, bool) {
+	for i, w := range ws {
+		if w == t {
+			return append(ws[:i], ws[i+1:]...), true
+		}
+	}
+	return ws, false
+}
+
+// Pend decrements the count, blocking while it is zero.
+func (s *Semaphore) Pend(c *TaskCtx) {
+	c.serviceOverhead(4)
+	s.Pends++
+	t := c.t
+	for s.count == 0 {
+		s.Blocks++
+		s.waiters = insertByPriority(s.waiters, t)
+		c.k.blockCurrent(t, "sem:"+s.Name)
+		for t.state == StateBlocked {
+			t.sig.Wait(c.p)
+		}
+		c.ensureRunning()
+	}
+	s.count--
+}
+
+// TryPend decrements without blocking; reports success.
+func (s *Semaphore) TryPend(c *TaskCtx) bool {
+	c.serviceOverhead(3)
+	s.Pends++
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Post increments the count and wakes the best waiter, if any.
+func (s *Semaphore) Post(c *TaskCtx) {
+	c.serviceOverhead(4)
+	s.Posts++
+	s.count++
+	s.wakeBest()
+}
+
+// PostFromISR increments from a non-task context (device ISR path).
+func (s *Semaphore) PostFromISR() {
+	s.Posts++
+	s.count++
+	s.wakeBest()
+}
+
+func (s *Semaphore) wakeBest() {
+	if len(s.waiters) == 0 {
+		return
+	}
+	t := s.waiters[0]
+	s.waiters = s.waiters[1:]
+	s.k.makeReady(t)
+}
+
+// Mutex is a binary lock with optional priority protocols: plain, priority
+// inheritance (Atalanta's long-lock behaviour, RTOS5), or immediate priority
+// ceiling (the protocol the SoCLC implements in hardware, RTOS6 — exposed
+// here so the software baseline of the protocol can be measured too).
+type Mutex struct {
+	k         *Kernel
+	Name      string
+	Proto     LockProtocol
+	Ceiling   int // used by IPCP
+	owner     *Task
+	waiters   []*Task
+	savedPrio int
+	// Instrumentation.
+	Acquires, Contended int
+	// Lock latency: acquisition time when uncontended; lock delay: time from
+	// requesting a held lock to acquiring it.
+	TotalLatency sim.Cycles
+	TotalDelay   sim.Cycles
+}
+
+// LockProtocol selects the mutex priority protocol.
+type LockProtocol int
+
+// Protocols.
+const (
+	ProtoNone LockProtocol = iota
+	ProtoInherit
+	ProtoCeiling
+)
+
+// NewMutex creates a mutex.  For ProtoCeiling the ceiling must be set to the
+// highest priority (lowest number) of any task that uses the lock.
+func (k *Kernel) NewMutex(name string, proto LockProtocol, ceiling int) *Mutex {
+	return &Mutex{k: k, Name: name, Proto: proto, Ceiling: ceiling}
+}
+
+// Owner returns the current owner, or nil.
+func (m *Mutex) Owner() *Task { return m.owner }
+
+// Lock acquires the mutex, applying the configured priority protocol.
+func (m *Mutex) Lock(c *TaskCtx) {
+	start := c.p.Now()
+	c.serviceOverhead(6)
+	t := c.t
+	if m.owner == nil {
+		m.acquire(c, t)
+		m.Acquires++
+		m.TotalLatency += c.p.Now() - start
+		return
+	}
+	if m.owner == t {
+		panic(fmt.Sprintf("rtos: task %s re-locking mutex %s", t.Name, m.Name))
+	}
+	m.Contended++
+	if m.Proto == ProtoInherit {
+		// Priority inheritance, propagated transitively: if the owner is
+		// itself blocked on another PI mutex, ITS owner inherits too, and so
+		// on down the chain (the classic chained-blocking case).
+		prio := t.CurPrio
+		for hop, owner := 0, m.owner; owner != nil && hop < 32; hop++ {
+			if prio >= owner.CurPrio {
+				break
+			}
+			c.k.setPriority(owner, prio)
+			next := owner.waitingOn
+			if next == nil || next.Proto != ProtoInherit {
+				break
+			}
+			owner = next.owner
+		}
+	}
+	m.waiters = insertByPriority(m.waiters, t)
+	t.waitingOn = m
+	c.k.blockCurrent(t, "mutex:"+m.Name)
+	for m.owner != t {
+		t.sig.Wait(c.p)
+	}
+	t.waitingOn = nil
+	c.ensureRunning()
+	m.Acquires++
+	m.TotalDelay += c.p.Now() - start
+}
+
+func (m *Mutex) acquire(c *TaskCtx, t *Task) {
+	m.owner = t
+	m.savedPrio = t.CurPrio
+	if m.Proto == ProtoCeiling && m.Ceiling < t.CurPrio {
+		// Immediate priority ceiling: raise on acquisition.
+		c.k.setPriority(t, m.Ceiling)
+	}
+}
+
+// Unlock releases the mutex, restoring the owner's priority and handing the
+// lock to the highest-priority waiter.
+func (m *Mutex) Unlock(c *TaskCtx) {
+	c.serviceOverhead(6)
+	t := c.t
+	if m.owner != t {
+		panic(fmt.Sprintf("rtos: task %s unlocking mutex %s owned by %v", t.Name, m.Name, m.owner))
+	}
+	// Restore the priority this acquisition may have boosted/raised.
+	c.k.setPriority(t, m.savedPrio)
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	m.savedPrio = next.CurPrio
+	if m.Proto == ProtoCeiling && m.Ceiling < next.CurPrio {
+		c.k.setPriority(next, m.Ceiling)
+	}
+	c.k.makeReady(next)
+}
+
+// AvgLatency returns the mean uncontended acquisition cost in cycles.
+func (m *Mutex) AvgLatency() float64 {
+	n := m.Acquires - m.Contended
+	if n <= 0 {
+		return 0
+	}
+	return float64(m.TotalLatency) / float64(n)
+}
+
+// AvgDelay returns the mean contended hand-off cost in cycles.
+func (m *Mutex) AvgDelay() float64 {
+	if m.Contended == 0 {
+		return 0
+	}
+	return float64(m.TotalDelay) / float64(m.Contended)
+}

@@ -1,0 +1,148 @@
+package sim
+
+// Bus models the shared system bus, its arbiter and the memory controller.
+//
+// The paper's timing assumption (Section 5.5): three cycles of the system
+// bus clock, including arbitration, to access the first word of the 16 MB
+// global memory; successive words of a burst take one cycle each.  The bus
+// is a single shared resource: a transaction issued while another is in
+// flight waits until the bus frees (FCFS — the arbiter's round-robin and the
+// deterministic scheduler give the same order for our workloads).
+// Arbitration selects the bus arbiter's policy, one of the δ framework's
+// bus-configurator knobs.
+type Arbitration int
+
+// Arbitration policies.
+const (
+	// ArbFCFS grants in arrival order (the default; the paper's base
+	// system behaves this way under light contention).
+	ArbFCFS Arbitration = iota
+	// ArbPriority favours lower-numbered PEs when several masters contend
+	// for the same grant slot: each retry costs a PE-indexed skew, so PE0
+	// always wins a tie.  Device/unit contexts (PE -1) win over all PEs.
+	ArbPriority
+)
+
+type Bus struct {
+	sim       *Sim
+	busyUntil Cycles
+	policy    Arbitration
+
+	// Instrumentation.
+	Transactions Cycles
+	WordsMoved   Cycles
+	StallCycles  Cycles // cycles procs spent waiting for the bus
+	Retries      Cycles // re-arbitration rounds under ArbPriority
+}
+
+// SetArbitration selects the arbiter policy (call before simulation).
+func (b *Bus) SetArbitration(a Arbitration) { b.policy = a }
+
+// Policy returns the configured arbitration policy.
+func (b *Bus) Policy() Arbitration { return b.policy }
+
+// Timing constants of the base MPSoC.
+const (
+	// BusFirstWordCycles covers arbitration + address phase + first data
+	// word.
+	BusFirstWordCycles = 3
+	// BusBurstWordCycles is the per-word cost of burst continuation.
+	BusBurstWordCycles = 1
+)
+
+// NewBus creates a bus attached to s.
+func NewBus(s *Sim) *Bus { return &Bus{sim: s} }
+
+// TransactionCycles returns the bus occupancy of a words-long transfer.
+func TransactionCycles(words int) Cycles {
+	if words <= 0 {
+		return 0
+	}
+	return BusFirstWordCycles + Cycles(words-1)*BusBurstWordCycles
+}
+
+// Transact performs a words-long transfer from proc p, blocking p for the
+// arbitration wait plus the transfer itself.
+func (b *Bus) Transact(p *Proc, words int) {
+	if words <= 0 {
+		return
+	}
+	cost := TransactionCycles(words)
+	if b.policy == ArbPriority {
+		b.transactPriority(p, cost, Cycles(words))
+		return
+	}
+	now := b.sim.now
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	wait := start - now
+	b.busyUntil = start + cost
+	b.Transactions++
+	b.WordsMoved += Cycles(words)
+	b.StallCycles += wait
+	p.Delay(wait + cost)
+}
+
+// transactPriority resolves contention with PE-indexed skew: a contender
+// waits until the current transfer ends plus a penalty of its PE index, so
+// when several masters re-arbitrate for the same slot the lowest-numbered
+// (highest-priority) PE claims first and the others loop.
+func (b *Bus) transactPriority(p *Proc, cost, words Cycles) {
+	skew := Cycles(0)
+	if p.PE > 0 {
+		skew = Cycles(p.PE)
+	}
+	for {
+		now := b.sim.now
+		if b.busyUntil <= now {
+			b.busyUntil = now + cost
+			b.Transactions++
+			b.WordsMoved += words
+			p.Delay(cost)
+			return
+		}
+		wait := b.busyUntil - now + skew
+		b.StallCycles += wait
+		b.Retries++
+		p.Delay(wait)
+	}
+}
+
+// TransactFast performs a transfer to a fast bus slave (the SoCLC lock
+// cache or another register-mapped unit that responds without the memory
+// controller): one cycle per word, no first-word penalty beyond occupancy.
+func (b *Bus) TransactFast(p *Proc, words int) {
+	if words <= 0 {
+		return
+	}
+	cost := Cycles(words) * BusBurstWordCycles
+	now := b.sim.now
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	wait := start - now
+	b.busyUntil = start + cost
+	b.Transactions++
+	b.WordsMoved += Cycles(words)
+	b.StallCycles += wait
+	p.Delay(wait + cost)
+}
+
+// Read performs a words-long read transaction (timing only).
+func (b *Bus) Read(p *Proc, words int) { b.Transact(p, words) }
+
+// Write performs a words-long write transaction (timing only).
+func (b *Bus) Write(p *Proc, words int) { b.Transact(p, words) }
+
+// Utilization returns the fraction of elapsed time the bus was occupied.
+func (b *Bus) Utilization() float64 {
+	if b.sim.now == 0 {
+		return 0
+	}
+	occupied := b.WordsMoved*BusBurstWordCycles +
+		b.Transactions*(BusFirstWordCycles-BusBurstWordCycles)
+	return float64(occupied) / float64(b.sim.now)
+}

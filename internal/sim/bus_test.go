@@ -1,0 +1,102 @@
+package sim
+
+import "testing"
+
+func TestArbitrationDefaultFCFS(t *testing.T) {
+	s := New()
+	if s.Bus.Policy() != ArbFCFS {
+		t.Error("default policy should be FCFS")
+	}
+}
+
+func TestPriorityArbitrationFavorsLowPE(t *testing.T) {
+	// Three PEs contend for the bus the instant a long transfer ends.
+	// Under priority arbitration PE0 must win, then PE1, then PE2.
+	s := New()
+	s.Bus.SetArbitration(ArbPriority)
+	var order []int
+	// A device context occupies the bus first.
+	s.Spawn("dma", -1, func(p *Proc) {
+		s.Bus.Transact(p, 30) // 32 cycles
+	})
+	for pe := 2; pe >= 0; pe-- { // spawn in reverse so arrival order != priority
+		pe := pe
+		s.Spawn("pe", pe, func(p *Proc) {
+			p.Delay(1) // all contend at t=1, mid-transfer
+			s.Bus.Transact(p, 8)
+			order = append(order, pe)
+		})
+	}
+	s.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("grant order = %v, want [0 1 2]", order)
+	}
+	if s.Bus.Retries == 0 {
+		t.Error("no re-arbitration recorded")
+	}
+}
+
+func TestPriorityArbitrationUncontendedCost(t *testing.T) {
+	s := New()
+	s.Bus.SetArbitration(ArbPriority)
+	var end Cycles
+	s.Spawn("a", 3, func(p *Proc) {
+		s.Bus.Transact(p, 8)
+		end = p.Now()
+	})
+	s.Run()
+	if end != 10 {
+		t.Errorf("uncontended priority transfer ended at %d, want 10", end)
+	}
+}
+
+func TestFCFSKeepsArrivalOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.Spawn("hold", -1, func(p *Proc) { s.Bus.Transact(p, 30) })
+	for pe := 2; pe >= 0; pe-- {
+		pe := pe
+		s.Spawn("pe", pe, func(p *Proc) {
+			p.Delay(Cycles(3 - pe)) // PE2 arrives first, PE0 last
+			s.Bus.Transact(p, 8)
+			order = append(order, pe)
+		})
+	}
+	s.Run()
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Errorf("FCFS order = %v, want [2 1 0]", order)
+	}
+}
+
+func TestTransactFastCheaper(t *testing.T) {
+	s := New()
+	var fastEnd, slowEnd Cycles
+	s.Spawn("fast", 0, func(p *Proc) {
+		s.Bus.TransactFast(p, 1)
+		fastEnd = p.Now()
+	})
+	s.Run()
+	s2 := New()
+	s2.Spawn("slow", 0, func(p *Proc) {
+		s2.Bus.Transact(p, 1)
+		slowEnd = p.Now()
+	})
+	s2.Run()
+	if fastEnd != 1 || slowEnd != 3 {
+		t.Errorf("fast=%d slow=%d, want 1 and 3", fastEnd, slowEnd)
+	}
+}
+
+func TestTransactZeroWords(t *testing.T) {
+	s := New()
+	s.Spawn("a", 0, func(p *Proc) {
+		s.Bus.Transact(p, 0)
+		s.Bus.TransactFast(p, 0)
+	})
+	if end := s.Run(); end != 0 {
+		t.Errorf("zero-word transfers advanced time to %d", end)
+	}
+	if s.Bus.Transactions != 0 {
+		t.Error("zero-word transfer counted")
+	}
+}

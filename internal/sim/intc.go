@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// InterruptController models the base MPSoC's interrupt controller
+// (Section 5.1 lists it among the essential interfaces): a set of numbered
+// interrupt lines with pending latches and per-line masking.  Devices (or
+// hardware RTOS units like the SoCLC and DAU, which signal completion by
+// interrupt) raise lines; handler contexts wait on them.
+type InterruptController struct {
+	sim   *Sim
+	lines []irqLine
+	// Instrumentation.
+	Raised    int
+	Delivered int
+}
+
+type irqLine struct {
+	pending bool
+	masked  bool
+	sig     *Signal
+}
+
+// NewInterruptController creates a controller with the given number of
+// interrupt vectors, all unmasked and idle.
+func (s *Sim) NewInterruptController(vectors int) *InterruptController {
+	if vectors <= 0 {
+		panic("sim: need at least one interrupt vector")
+	}
+	ic := &InterruptController{sim: s, lines: make([]irqLine, vectors)}
+	for v := range ic.lines {
+		ic.lines[v].sig = s.NewSignal(fmt.Sprintf("irq%d", v))
+	}
+	return ic
+}
+
+// Vectors returns the number of interrupt lines.
+func (ic *InterruptController) Vectors() int { return len(ic.lines) }
+
+func (ic *InterruptController) check(v int) {
+	if v < 0 || v >= len(ic.lines) {
+		panic(fmt.Sprintf("sim: interrupt vector %d out of range", v))
+	}
+}
+
+// Raise asserts vector v.  If the line is unmasked and someone is waiting,
+// the interrupt is delivered immediately; otherwise it latches pending.
+func (ic *InterruptController) Raise(v int) {
+	ic.check(v)
+	ic.Raised++
+	ic.lines[v].pending = true
+	ic.deliver(v)
+}
+
+func (ic *InterruptController) deliver(v int) {
+	l := &ic.lines[v]
+	if l.masked || !l.pending {
+		return
+	}
+	if l.sig.WakeOne() {
+		l.pending = false
+		ic.Delivered++
+	}
+}
+
+// Pending reports whether vector v has a latched, undelivered interrupt.
+func (ic *InterruptController) Pending(v int) bool {
+	ic.check(v)
+	return ic.lines[v].pending
+}
+
+// Mask blocks delivery on vector v (pending interrupts stay latched).
+func (ic *InterruptController) Mask(v int) {
+	ic.check(v)
+	ic.lines[v].masked = true
+}
+
+// Unmask re-enables vector v, delivering a latched interrupt if a waiter
+// exists.
+func (ic *InterruptController) Unmask(v int) {
+	ic.check(v)
+	ic.lines[v].masked = false
+	ic.deliver(v)
+}
+
+// WaitFor blocks p until vector v delivers one interrupt.  A latched pending
+// interrupt on an unmasked line is consumed immediately.
+func (ic *InterruptController) WaitFor(p *Proc, v int) {
+	ic.check(v)
+	l := &ic.lines[v]
+	if l.pending && !l.masked {
+		l.pending = false
+		ic.Delivered++
+		return
+	}
+	l.sig.Wait(p)
+}
+
+// Connect routes a device's completion IRQ onto vector v: every job
+// completion raises the line.
+func (ic *InterruptController) Connect(d *Device, v int) {
+	ic.check(v)
+	ic.sim.Spawn(fmt.Sprintf("intc.%s.v%d", d.Name, v), -1, func(p *Proc) {
+		for {
+			d.IRQ.Wait(p)
+			ic.Raise(v)
+		}
+	})
+}

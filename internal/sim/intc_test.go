@@ -1,0 +1,114 @@
+package sim
+
+import "testing"
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestIntcValidation(t *testing.T) {
+	s := New()
+	mustPanic(t, func() { s.NewInterruptController(0) })
+	ic := s.NewInterruptController(4)
+	if ic.Vectors() != 4 {
+		t.Errorf("Vectors = %d", ic.Vectors())
+	}
+	mustPanic(t, func() { ic.Raise(9) })
+	mustPanic(t, func() { ic.Mask(-1) })
+}
+
+func TestIntcPendingLatch(t *testing.T) {
+	s := New()
+	ic := s.NewInterruptController(2)
+	var gotAt Cycles
+	s.Spawn("raiser", -1, func(p *Proc) {
+		p.Delay(100)
+		ic.Raise(1) // nobody waiting: latches
+	})
+	s.Spawn("handler", 0, func(p *Proc) {
+		p.Delay(500)
+		ic.WaitFor(p, 1) // consumes the latched interrupt instantly
+		gotAt = p.Now()
+	})
+	s.Run()
+	if gotAt != 500 {
+		t.Errorf("handled at %d, want 500 (latched delivery)", gotAt)
+	}
+	if ic.Pending(1) {
+		t.Error("pending not cleared after delivery")
+	}
+	if ic.Raised != 1 || ic.Delivered != 1 {
+		t.Errorf("counters: raised=%d delivered=%d", ic.Raised, ic.Delivered)
+	}
+}
+
+func TestIntcWaitThenRaise(t *testing.T) {
+	s := New()
+	ic := s.NewInterruptController(1)
+	var gotAt Cycles
+	s.Spawn("handler", 0, func(p *Proc) {
+		ic.WaitFor(p, 0)
+		gotAt = p.Now()
+	})
+	s.Spawn("raiser", -1, func(p *Proc) {
+		p.Delay(250)
+		ic.Raise(0)
+	})
+	s.Run()
+	if gotAt != 250 {
+		t.Errorf("handled at %d", gotAt)
+	}
+}
+
+func TestIntcMasking(t *testing.T) {
+	s := New()
+	ic := s.NewInterruptController(1)
+	var gotAt Cycles
+	s.Spawn("handler", 0, func(p *Proc) {
+		ic.WaitFor(p, 0)
+		gotAt = p.Now()
+	})
+	s.Spawn("ctl", -1, func(p *Proc) {
+		ic.Mask(0)
+		p.Delay(100)
+		ic.Raise(0) // masked: stays pending
+		p.Delay(100)
+		if !ic.Pending(0) {
+			t.Error("masked interrupt should stay pending")
+		}
+		ic.Unmask(0) // delivery happens here
+	})
+	s.Run()
+	if gotAt != 200 {
+		t.Errorf("delivered at %d, want 200 (after unmask)", gotAt)
+	}
+}
+
+func TestIntcDeviceConnect(t *testing.T) {
+	s := New()
+	ic := s.NewInterruptController(4)
+	dev := s.NewDevice("DSP")
+	ic.Connect(dev, 2)
+	var handled int
+	s.Spawn("handler", 0, func(p *Proc) {
+		for i := 0; i < 2; i++ {
+			ic.WaitFor(p, 2)
+			handled++
+		}
+	})
+	s.Spawn("driver", 1, func(p *Proc) {
+		dev.Start(p, 300)
+		p.Delay(1000)
+		dev.Start(p, 300)
+	})
+	s.Run()
+	if handled != 2 {
+		t.Errorf("handled %d interrupts, want 2", handled)
+	}
+}

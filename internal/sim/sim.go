@@ -1,0 +1,266 @@
+// Package sim is a process-oriented discrete-event simulator of the paper's
+// base MPSoC (Section 5.1): four MPC755-class processing elements with L1
+// caches, a shared 100 MHz bus with an arbiter and memory controller, 16 MB
+// of shared L2 memory, and four peripheral resources (VI, IDCT/MPEG, DSP,
+// WI) with timers and interrupt outputs.
+//
+// Time is counted in bus-clock cycles (10 ns), the unit every table of the
+// paper reports.  Each simulated flow of control (one per PE, plus device
+// timers) is a goroutine that synchronizes with the scheduler through a
+// strict handshake: exactly one goroutine runs at any instant, resumptions
+// are ordered by (time, sequence number), and therefore a given program
+// produces identical cycle counts on every run — the property the
+// co-simulation experiments rely on (substituting for Seamless CVE).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Cycles is simulation time in bus-clock cycles.
+type Cycles = uint64
+
+// Sim is the simulation kernel.
+type Sim struct {
+	now    Cycles
+	events eventHeap
+	seq    uint64
+	procs  []*Proc
+	// Bus is the shared system bus all PEs and hardware units sit on.
+	Bus *Bus
+}
+
+// New creates an empty simulation with a default bus.
+func New() *Sim {
+	s := &Sim{}
+	s.Bus = NewBus(s)
+	return s
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Cycles { return s.now }
+
+type event struct {
+	t   Cycles
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type yieldKind int
+
+const (
+	yDelay yieldKind = iota
+	yBlock
+	yDone
+)
+
+type yieldMsg struct {
+	kind  yieldKind
+	delay Cycles
+}
+
+// Proc is one simulated flow of control (a PE's current context or a device
+// timer).  Methods on Proc may only be called from inside the proc's own
+// body function.
+type Proc struct {
+	sim    *Sim
+	Name   string
+	PE     int // owning processing element, -1 for device/timer procs
+	resume chan struct{}
+	yield  chan yieldMsg
+	state  procState
+
+	// Instrumentation.
+	BusyCycles Cycles // cycles spent computing or on the bus (not blocked)
+}
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateBlocked
+	stateDone
+)
+
+// Spawn creates a proc bound to a PE (use -1 for device contexts) whose body
+// starts at the current simulation time.
+func (s *Sim) Spawn(name string, pe int, body func(p *Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		Name:   name,
+		PE:     pe,
+		resume: make(chan struct{}),
+		yield:  make(chan yieldMsg),
+	}
+	s.procs = append(s.procs, p)
+	go func() {
+		<-p.resume
+		body(p)
+		p.yield <- yieldMsg{kind: yDone}
+	}()
+	s.schedule(p, s.now)
+	return p
+}
+
+func (s *Sim) schedule(p *Proc, t Cycles) {
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, p: p})
+}
+
+// Run processes events until none remain, then returns the final time.
+// Procs still blocked when the event queue drains are left blocked — the
+// deadlock-scenario applications rely on observing exactly that state.
+func (s *Sim) Run() Cycles {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.p.state == stateDone {
+			continue
+		}
+		if e.t < s.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d < %d", e.t, s.now))
+		}
+		s.now = e.t
+		s.dispatch(e.p)
+	}
+	return s.now
+}
+
+// dispatch resumes p and handles its next yield.
+func (s *Sim) dispatch(p *Proc) {
+	p.state = stateReady
+	p.resume <- struct{}{}
+	m := <-p.yield
+	switch m.kind {
+	case yDelay:
+		s.schedule(p, s.now+m.delay)
+	case yBlock:
+		p.state = stateBlocked
+	case yDone:
+		p.state = stateDone
+	}
+}
+
+// Blocked returns the names of procs that are still blocked, sorted.
+func (s *Sim) Blocked() []string {
+	var out []string
+	for _, p := range s.procs {
+		if p.state == stateBlocked {
+			out = append(out, p.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllDone reports whether every spawned proc ran to completion.
+func (s *Sim) AllDone() bool {
+	for _, p := range s.procs {
+		if p.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Now returns the current simulation time (proc view).
+func (p *Proc) Now() Cycles { return p.sim.now }
+
+// Delay advances simulation time by dt busy cycles (computation on the PE).
+func (p *Proc) Delay(dt Cycles) {
+	p.BusyCycles += dt
+	p.yield <- yieldMsg{kind: yDelay, delay: dt}
+	<-p.resume
+}
+
+// block parks the proc until another proc wakes it.
+func (p *Proc) block() {
+	p.yield <- yieldMsg{kind: yBlock}
+	<-p.resume
+}
+
+// wake schedules p to resume at the current time.  Must be called from the
+// running proc or from scheduler context.
+func (p *Proc) wake() {
+	if p.state != stateBlocked {
+		panic("sim: waking a proc that is not blocked: " + p.Name)
+	}
+	p.state = stateReady
+	p.sim.schedule(p, p.sim.now)
+}
+
+// Signal is a broadcast/wake-one condition used to model interrupt lines,
+// lock hand-offs and mailbox arrivals.  The zero value is not usable; create
+// with NewSignal.
+type Signal struct {
+	sim     *Sim
+	Name    string
+	waiters []*Proc
+}
+
+// NewSignal creates a named signal.
+func (s *Sim) NewSignal(name string) *Signal {
+	return &Signal{sim: s, Name: name}
+}
+
+// Wait blocks the calling proc until the signal wakes it.
+func (sig *Signal) Wait(p *Proc) {
+	sig.waiters = append(sig.waiters, p)
+	p.block()
+}
+
+// WakeOne wakes the longest-waiting proc, returning whether one was woken.
+func (sig *Signal) WakeOne() bool {
+	if len(sig.waiters) == 0 {
+		return false
+	}
+	p := sig.waiters[0]
+	sig.waiters = sig.waiters[1:]
+	p.wake()
+	return true
+}
+
+// WakeAll wakes every waiter in FIFO order and returns how many were woken.
+func (sig *Signal) WakeAll() int {
+	n := len(sig.waiters)
+	for _, p := range sig.waiters {
+		p.wake()
+	}
+	sig.waiters = nil
+	return n
+}
+
+// Waiters returns the number of procs blocked on the signal.
+func (sig *Signal) Waiters() int { return len(sig.waiters) }
+
+// Remove drops p from the wait list without waking it (used for timeouts and
+// give-up paths).  Reports whether p was waiting.
+func (sig *Signal) Remove(p *Proc) bool {
+	for i, w := range sig.waiters {
+		if w == p {
+			sig.waiters = append(sig.waiters[:i], sig.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package socdmmu
+
+import (
+	"testing"
+
+	"deltartos/internal/rtos"
+	"deltartos/internal/sim"
+)
+
+func TestBindSoCDMMUToKernel(t *testing.T) {
+	s := sim.New()
+	k := rtos.NewKernel(s, 1)
+	u, err := New(Config{TotalBytes: 512 << 10, BlockBytes: 64 << 10, PEs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Bind(k, u)
+	var addr uint32
+	k.CreateTask("a", 0, 1, 0, func(c *rtos.TaskCtx) {
+		a, err := c.Alloc(100 << 10)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		addr = a
+		if err := c.Free(a); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run()
+	_ = addr
+	st := u.Stats()
+	if st.Allocs != 1 || st.Frees != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if u.FreeBlocks() != 8 {
+		t.Errorf("FreeBlocks = %d", u.FreeBlocks())
+	}
+}
+
+func TestBindSoftwareAllocatorToKernel(t *testing.T) {
+	s := sim.New()
+	k := rtos.NewKernel(s, 1)
+	a, err := NewSoftwareAllocator(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Bind(k, a)
+	k.CreateTask("a", 0, 1, 0, func(c *rtos.TaskCtx) {
+		p, err := c.Alloc(4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c.Free(p); err != nil {
+			t.Error(err)
+		}
+		// Double free through the kernel API must propagate the error.
+		if err := c.Free(p); err == nil {
+			t.Error("double free accepted")
+		}
+	})
+	s.Run()
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnboundKernelAllocErrors(t *testing.T) {
+	s := sim.New()
+	k := rtos.NewKernel(s, 1)
+	k.CreateTask("a", 0, 1, 0, func(c *rtos.TaskCtx) {
+		if _, err := c.Alloc(16); err == nil {
+			t.Error("Alloc without manager accepted")
+		}
+		if err := c.Free(0); err == nil {
+			t.Error("Free without manager accepted")
+		}
+	})
+	s.Run()
+}
+
+func TestSetMemoryManagerNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	rtos.NewKernel(sim.New(), 1).SetMemoryManager(nil, nil)
+}

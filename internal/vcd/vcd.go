@@ -1,0 +1,223 @@
+// Package vcd writes Value Change Dump waveform files (IEEE 1364-2001
+// §18) so DDU detection runs and RTOS schedules can be inspected in any
+// waveform viewer (GTKWave etc.).  Only the subset the reproduction needs
+// is implemented: scalar wires, bit vectors, one scope hierarchy, and
+// change-only dumping.
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// VarID identifies a declared signal.
+type VarID int
+
+type variable struct {
+	name  string
+	width int
+	code  string
+	last  string // last emitted value ("" = never)
+}
+
+// Writer builds a VCD file.  Declare scopes and variables first, call
+// Begin, then alternate Time and Set* calls.  Times must be monotonically
+// non-decreasing.
+type Writer struct {
+	w       io.Writer
+	vars    []*variable
+	began   bool
+	current uint64
+	timeSet bool
+	scopes  int
+	err     error
+}
+
+// NewWriter starts a VCD document with the given timescale (e.g. "10ns",
+// one bus clock of the paper's 100 MHz system).
+func NewWriter(w io.Writer, timescale string) *Writer {
+	vw := &Writer{w: w}
+	vw.printf("$date\n  delta framework reproduction\n$end\n")
+	vw.printf("$version\n  deltartos vcd writer\n$end\n")
+	vw.printf("$timescale %s $end\n", timescale)
+	return vw
+}
+
+func (vw *Writer) printf(format string, args ...interface{}) {
+	if vw.err != nil {
+		return
+	}
+	_, vw.err = fmt.Fprintf(vw.w, format, args...)
+}
+
+// Err returns the first write error, if any.
+func (vw *Writer) Err() error { return vw.err }
+
+// Scope opens a named module scope (before Begin).
+func (vw *Writer) Scope(name string) {
+	if vw.began {
+		vw.fail("Scope after Begin")
+		return
+	}
+	vw.scopes++
+	vw.printf("$scope module %s $end\n", sanitize(name))
+}
+
+// Upscope closes the innermost scope.
+func (vw *Writer) Upscope() {
+	if vw.began || vw.scopes == 0 {
+		vw.fail("unbalanced Upscope")
+		return
+	}
+	vw.scopes--
+	vw.printf("$upscope $end\n")
+}
+
+// Wire declares a signal of the given bit width and returns its id.
+func (vw *Writer) Wire(name string, width int) VarID {
+	if vw.began {
+		vw.fail("Wire after Begin")
+		return -1
+	}
+	if width <= 0 {
+		width = 1
+	}
+	code := idCode(len(vw.vars))
+	v := &variable{name: sanitize(name), width: width, code: code}
+	vw.vars = append(vw.vars, v)
+	if width == 1 {
+		vw.printf("$var wire 1 %s %s $end\n", code, v.name)
+	} else {
+		vw.printf("$var wire %d %s %s [%d:0] $end\n", width, code, v.name, width-1)
+	}
+	return VarID(len(vw.vars) - 1)
+}
+
+// Begin closes the declaration section.  Initial values are emitted by the
+// first Set* calls at time 0.
+func (vw *Writer) Begin() {
+	if vw.began {
+		vw.fail("double Begin")
+		return
+	}
+	for vw.scopes > 0 {
+		vw.Upscope()
+	}
+	vw.began = true
+	vw.printf("$enddefinitions $end\n")
+	vw.printf("#0\n")
+	vw.timeSet = true
+}
+
+// Time advances the dump time.  Equal times are merged; going backwards is
+// an error.
+func (vw *Writer) Time(t uint64) {
+	if !vw.began {
+		vw.fail("Time before Begin")
+		return
+	}
+	if t < vw.current {
+		vw.fail("time went backwards")
+		return
+	}
+	if t == vw.current && vw.timeSet {
+		return
+	}
+	vw.current = t
+	vw.printf("#%d\n", t)
+	vw.timeSet = true
+}
+
+// SetBit records a scalar value at the current time (change-only).
+func (vw *Writer) SetBit(id VarID, value bool) {
+	v := vw.variableFor(id)
+	if v == nil {
+		return
+	}
+	s := "0"
+	if value {
+		s = "1"
+	}
+	if v.last == s {
+		return
+	}
+	v.last = s
+	vw.printf("%s%s\n", s, v.code)
+}
+
+// SetVec records a vector value at the current time (change-only).
+func (vw *Writer) SetVec(id VarID, value uint64) {
+	v := vw.variableFor(id)
+	if v == nil {
+		return
+	}
+	s := "b" + strconv.FormatUint(value, 2)
+	if v.last == s {
+		return
+	}
+	v.last = s
+	vw.printf("%s %s\n", s, v.code)
+}
+
+// SetBits records a bit-slice as a vector (index 0 = LSB).
+func (vw *Writer) SetBits(id VarID, bits []bool) {
+	var val uint64
+	for i, b := range bits {
+		if b && i < 64 {
+			val |= 1 << uint(i)
+		}
+	}
+	vw.SetVec(id, val)
+}
+
+func (vw *Writer) variableFor(id VarID) *variable {
+	if !vw.began {
+		vw.fail("Set before Begin")
+		return nil
+	}
+	if id < 0 || int(id) >= len(vw.vars) {
+		vw.fail("unknown VarID")
+		return nil
+	}
+	return vw.vars[id]
+}
+
+func (vw *Writer) fail(msg string) {
+	if vw.err == nil {
+		vw.err = fmt.Errorf("vcd: %s", msg)
+	}
+}
+
+// idCode maps a variable index to a printable VCD identifier (! through ~).
+func idCode(i int) string {
+	const lo, hi = 33, 126
+	base := hi - lo + 1
+	var b []byte
+	for {
+		b = append(b, byte(lo+i%base))
+		i /= base
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(b)
+}
+
+// sanitize keeps identifiers viewer-friendly.
+func sanitize(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '_', r == '.', r == '[', r == ']':
+			return r
+		}
+		return '_'
+	}, s)
+}

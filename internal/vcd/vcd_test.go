@@ -1,0 +1,161 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicDocument(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, "10ns")
+	w.Scope("top")
+	clk := w.Wire("clk", 1)
+	bus := w.Wire("data", 8)
+	w.Upscope()
+	w.Begin()
+	w.SetBit(clk, false)
+	w.SetVec(bus, 0xA5)
+	w.Time(1)
+	w.SetBit(clk, true)
+	w.Time(2)
+	w.SetBit(clk, false)
+	w.SetVec(bus, 0x5A)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"$timescale 10ns $end",
+		"$scope module top $end",
+		"$var wire 1 ! clk $end",
+		"$var wire 8 \" data [7:0] $end",
+		"$enddefinitions $end",
+		"#0", "#1", "#2",
+		"b10100101 \"",
+		"b1011010 \"",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("document missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestChangeOnlyDumping(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, "1ns")
+	x := w.Wire("x", 1)
+	w.Begin()
+	w.SetBit(x, true)
+	w.Time(1)
+	w.SetBit(x, true) // no change: must not re-emit
+	w.Time(2)
+	w.SetBit(x, false)
+	text := b.String()
+	if strings.Count(text, "1!") != 1 {
+		t.Errorf("value re-emitted:\n%s", text)
+	}
+	if strings.Count(text, "0!") != 1 {
+		t.Errorf("change not emitted:\n%s", text)
+	}
+}
+
+func TestTimeMerging(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, "1ns")
+	x := w.Wire("x", 1)
+	w.Begin()
+	w.Time(5)
+	w.Time(5) // merged
+	w.SetBit(x, true)
+	if strings.Count(b.String(), "#5") != 1 {
+		t.Errorf("duplicate timestamps:\n%s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, "1ns")
+	w.Begin()
+	w.Time(5)
+	w.Time(3) // backwards
+	if w.Err() == nil {
+		t.Error("backwards time accepted")
+	}
+
+	w2 := NewWriter(&b, "1ns")
+	w2.SetBit(0, true) // before Begin
+	if w2.Err() == nil {
+		t.Error("Set before Begin accepted")
+	}
+
+	w3 := NewWriter(&b, "1ns")
+	w3.Begin()
+	w3.Wire("late", 1)
+	if w3.Err() == nil {
+		t.Error("Wire after Begin accepted")
+	}
+
+	w4 := NewWriter(&b, "1ns")
+	w4.Upscope()
+	if w4.Err() == nil {
+		t.Error("unbalanced Upscope accepted")
+	}
+
+	w5 := NewWriter(&b, "1ns")
+	w5.Begin()
+	w5.SetBit(VarID(99), true)
+	if w5.Err() == nil {
+		t.Error("unknown VarID accepted")
+	}
+}
+
+func TestIdCodesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		c := idCode(i)
+		if seen[c] {
+			t.Fatalf("duplicate id code %q at %d", c, i)
+		}
+		seen[c] = true
+		for _, r := range c {
+			if r < 33 || r > 126 {
+				t.Fatalf("id code %q has out-of-range rune", c)
+			}
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("task 1/main") != "task_1_main" {
+		t.Errorf("sanitize = %q", sanitize("task 1/main"))
+	}
+	if sanitize("") != "unnamed" {
+		t.Error("empty name not handled")
+	}
+}
+
+func TestSetBits(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, "1ns")
+	v := w.Wire("vec", 4)
+	w.Begin()
+	w.SetBits(v, []bool{true, false, true, false}) // LSB first -> 0101
+	if !strings.Contains(b.String(), "b101 ") {
+		t.Errorf("SetBits encoding:\n%s", b.String())
+	}
+}
+
+func TestAutoCloseScopesOnBegin(t *testing.T) {
+	var b strings.Builder
+	w := NewWriter(&b, "1ns")
+	w.Scope("a")
+	w.Scope("b")
+	w.Wire("x", 1)
+	w.Begin()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "$upscope $end") != 2 {
+		t.Errorf("scopes not auto-closed:\n%s", b.String())
+	}
+}
