@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: tier1 build test vet race bench
+
+# tier1 is the merge gate: everything must build, vet clean, and pass the
+# test suite under the race detector.
+tier1: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -8,6 +8,14 @@
 //	deltasim -exp table45
 //	deltasim -all
 //	deltasim -exp fig20 -vcd robot.vcd
+//	deltasim -exp table45 -trace table45.json -metrics table45.metrics.json
+//
+// -trace writes a Chrome trace-event file (load it in chrome://tracing or
+// Perfetto) with one process per simulation run and one thread per PE, plus
+// dedicated tracks for the shared bus and for device/unit contexts.
+// -metrics writes machine-readable per-experiment summaries: the rendered
+// table rows plus the cycle-attributed counters the tracing layer collected.
+// Both flags are valid for any -exp or -all selection.
 package main
 
 import (
@@ -15,24 +23,40 @@ import (
 	"fmt"
 	"os"
 
-	"deltartos/internal/app"
 	"deltartos/internal/experiments"
 	"deltartos/internal/rtos"
+	"deltartos/internal/sim"
+	"deltartos/internal/trace"
 )
+
+// curLabel names the experiment whose simulations are currently being
+// created; recorder labels are "<experiment>#<n>" in creation order.
+var curLabel = "run"
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	exp := flag.String("exp", "", "run one experiment by id (e.g. table1, fig15)")
 	all := flag.Bool("all", false, "run every experiment")
 	vcdPath := flag.String("vcd", "", "with -exp fig20: also write the robot schedule waveform to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulation run")
+	metricsPath := flag.String("metrics", "", "write per-experiment JSON summaries (table rows + trace counters)")
 	flag.Parse()
 
-	if *vcdPath != "" && *exp == "fig20" {
-		if err := writeRobotVCD(*vcdPath); err != nil {
-			fmt.Fprintln(os.Stderr, "deltasim:", err)
-			os.Exit(1)
+	if *vcdPath != "" && *exp != "fig20" {
+		fmt.Fprintln(os.Stderr, "deltasim: -vcd is only valid together with -exp fig20")
+		os.Exit(2)
+	}
+
+	var session *trace.Session
+	if *tracePath != "" || *metricsPath != "" {
+		session = trace.NewSession()
+		sim.OnNew = func(s *sim.Sim) {
+			s.Rec = session.NewRecorder(fmt.Sprintf("%s#%d", curLabel, session.Len()))
 		}
 	}
+
+	var summaries []experiments.Summary
+	collect := *metricsPath != ""
 
 	switch {
 	case *list:
@@ -45,14 +69,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "deltasim: unknown experiment %q (try -list)\n", *exp)
 			os.Exit(2)
 		}
-		if err := runOne(e); err != nil {
+		var err error
+		if *vcdPath != "" {
+			err = runFig20WithVCD(*vcdPath, session, collect, &summaries)
+		} else {
+			err = runOne(e, session, collect, &summaries)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 	case *all:
 		failed := 0
 		for _, e := range experiments.All() {
-			if err := runOne(e); err != nil {
+			if err := runOne(e, session, collect, &summaries); err != nil {
 				fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", e.ID, err)
 				failed++
 			}
@@ -65,29 +95,98 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, session); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, summaries); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-// writeRobotVCD re-runs the RTOS6 robot scenario with tracing and dumps the
-// Figure 20 schedule as a waveform.
-func writeRobotVCD(path string) error {
-	res := app.RunRobotScenario(app.NewRTOS6Locks, true)
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// runOne executes an experiment, prints its table, and (when requested)
+// captures the counters its simulations produced.
+func runOne(e experiments.Experiment, session *trace.Session, collect bool, summaries *[]experiments.Summary) error {
+	mark := 0
+	if session != nil {
+		mark = session.Len()
+		curLabel = e.ID
 	}
-	defer f.Close()
-	if err := rtos.WriteScheduleVCD(f, res.Trace, 4); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s: %d trace events\n", path, len(res.Trace))
-	return nil
-}
-
-func runOne(e experiments.Experiment) error {
 	res, err := e.Run()
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.Render(res))
+	if collect {
+		var counters map[string]uint64
+		if session != nil {
+			counters = session.CountersFrom(mark)
+		}
+		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+	}
+	return nil
+}
+
+// runFig20WithVCD runs the robot scenario ONCE, prints the Figure 20 table,
+// and dumps the schedule waveform from the same run.
+func runFig20WithVCD(path string, session *trace.Session, collect bool, summaries *[]experiments.Summary) error {
+	mark := 0
+	if session != nil {
+		mark = session.Len()
+		curLabel = "fig20"
+	}
+	res, tr, err := experiments.RunFig20()
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(res))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rtos.WriteScheduleVCD(f, tr, 4); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d trace events\n", path, len(tr))
+	if collect {
+		var counters map[string]uint64
+		if session != nil {
+			counters = session.CountersFrom(mark)
+		}
+		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+	}
+	return nil
+}
+
+func writeTrace(path string, session *trace.Session) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := session.WriteChromeTrace(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d events from %d runs\n", path, session.Events(), session.Len())
+	return nil
+}
+
+func writeMetrics(path string, summaries []experiments.Summary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteSummaries(f, summaries); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d experiment summaries\n", path, len(summaries))
 	return nil
 }

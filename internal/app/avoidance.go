@@ -7,7 +7,36 @@ import (
 	"deltartos/internal/dau"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
+	"deltartos/internal/trace"
 )
+
+// decisionVerdict labels a DAA request decision for trace events.
+func decisionVerdict(d daa.Decision) string {
+	switch d {
+	case daa.Granted:
+		return "granted"
+	case daa.Pending:
+		return "pending"
+	case daa.PendingOwnerAsked:
+		return "pending-owner-asked"
+	case daa.GiveUpRequested:
+		return "giveup"
+	}
+	return "unknown"
+}
+
+// recordAvoid books one avoidance-backend invocation spanning the cost just
+// charged (the invocation ends at now).
+func recordAvoid(r *trace.Recorder, name string, now, cost sim.Cycles, pe int, proc string, q int, verdict string) {
+	if r == nil {
+		return
+	}
+	r.Record(trace.Event{
+		Cycle: now - cost, Dur: cost,
+		PE: pe, Proc: proc,
+		Kind: trace.KindDetect, Name: name, Arg: int64(q), Verdict: verdict,
+	})
+}
 
 // AvoidanceBackend abstracts WHERE the deadlock avoidance algorithm runs:
 // DAA in software on the invoking PE (RTOS3) or the DAU hardware unit
@@ -211,6 +240,7 @@ func (w *AvoidanceWorld) Request(c *rtos.TaskCtx, p, q int) {
 	for {
 		res, cost := w.B.RequestOp(p, q)
 		c.ChargeCompute(cost)
+		recordAvoid(w.S.Rec, "avoid.request", c.Now(), cost, c.Task().PE, c.Task().Name, q, decisionVerdict(res.Decision))
 		switch res.Decision {
 		case daa.Granted:
 			return
@@ -244,6 +274,7 @@ func (w *AvoidanceWorld) RequestPair(c *rtos.TaskCtx, p, qa, qb int) {
 		for {
 			res, cost := w.B.RequestOp(p, q)
 			c.ChargeCompute(cost)
+			recordAvoid(w.S.Rec, "avoid.request", c.Now(), cost, c.Task().PE, c.Task().Name, q, decisionVerdict(res.Decision))
 			if res.Decision == daa.GiveUpRequested {
 				w.GiveUps++
 				for _, h := range w.B.Held(p) {
@@ -276,6 +307,11 @@ func (w *AvoidanceWorld) Release(c *rtos.TaskCtx, p, q int) {
 func (w *AvoidanceWorld) release(c *rtos.TaskCtx, p, q int) {
 	res, cost := w.B.ReleaseOp(p, q)
 	c.ChargeCompute(cost)
+	verdict := "free"
+	if res.GrantedTo >= 0 {
+		verdict = "handoff"
+	}
+	recordAvoid(w.S.Rec, "avoid.release", c.Now(), cost, c.Task().PE, c.Task().Name, q, verdict)
 	if res.GrantedTo >= 0 && w.tasks[res.GrantedTo] != nil {
 		w.K.Unpark(w.tasks[res.GrantedTo])
 	}
@@ -297,12 +333,18 @@ func (w *AvoidanceWorld) askOwner(owner, q int) {
 		}
 		res, cost := w.B.ReleaseOp(owner, q)
 		p.Delay(cost)
+		verdict := "free"
+		if res.GrantedTo >= 0 {
+			verdict = "handoff"
+		}
+		recordAvoid(w.S.Rec, "avoid.giveup", p.Now(), cost, p.PE, p.Name, q, verdict)
 		if res.GrantedTo >= 0 && w.tasks[res.GrantedTo] != nil {
 			w.K.Unpark(w.tasks[res.GrantedTo])
 		}
 		// The owner will need the resource again: queue its re-request.
 		rr, cost2 := w.B.RequestOp(owner, q)
 		p.Delay(cost2)
+		recordAvoid(w.S.Rec, "avoid.request", p.Now(), cost2, p.PE, p.Name, q, decisionVerdict(rr.Decision))
 		if rr.Decision == daa.Granted && w.tasks[owner] != nil {
 			w.K.Unpark(w.tasks[owner])
 		}

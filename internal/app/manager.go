@@ -13,7 +13,26 @@ import (
 	"deltartos/internal/rag"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
+	"deltartos/internal/trace"
 )
+
+// recordDetect books one detector invocation with the recorder, spanning the
+// cost just charged (the invocation ends at c.Now()).
+func recordDetect(c *rtos.TaskCtx, name string, cost sim.Cycles, steps int, deadlock bool) {
+	r := c.Kernel().S.Rec
+	if r == nil {
+		return
+	}
+	verdict := "clear"
+	if deadlock {
+		verdict = "deadlock"
+	}
+	r.Record(trace.Event{
+		Cycle: c.Now() - cost, Dur: cost,
+		PE: c.Task().PE, Proc: c.Task().Name,
+		Kind: trace.KindDetect, Name: name, Words: steps, Arg: -1, Verdict: verdict,
+	})
+}
 
 // Detector abstracts WHERE deadlock detection runs: software PDDA on the
 // requesting PE (RTOS1) or the DDU hardware unit (RTOS2).
@@ -59,6 +78,7 @@ func (d *SoftwareDetector) Invoke(c *rtos.TaskCtx, g *rag.Graph) (bool, sim.Cycl
 	c.ChargeCompute(cost)
 	d.Invocations++
 	d.TotalCycles += cost
+	recordDetect(c, "detect.invoke", cost, st.Iterations, dead)
 	return dead, cost
 }
 
@@ -101,6 +121,7 @@ func (d *HardwareDetector) Invoke(c *rtos.TaskCtx, g *rag.Graph) (bool, sim.Cycl
 	c.ChargeCompute(cost)
 	d.Invocations++
 	d.TotalCycles += cost
+	recordDetect(c, "detect.invoke", cost, res.Steps, res.Deadlock)
 	return res.Deadlock, cost
 }
 

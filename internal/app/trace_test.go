@@ -1,0 +1,94 @@
+package app
+
+import (
+	"bytes"
+	"testing"
+
+	"deltartos/internal/sim"
+	"deltartos/internal/trace"
+)
+
+// withSession runs fn with every sim it creates wired to a fresh session,
+// restoring the hook afterwards.
+func withSession(t *testing.T, fn func()) *trace.Session {
+	t.Helper()
+	sess := trace.NewSession()
+	prev := sim.OnNew
+	sim.OnNew = func(s *sim.Sim) {
+		s.Rec = sess.NewRecorder("run" + string(rune('0'+sess.Len())))
+	}
+	defer func() { sim.OnNew = prev }()
+	fn()
+	return sess
+}
+
+func TestDetectionTraceDeterministic(t *testing.T) {
+	export := func() []byte {
+		sess := withSession(t, func() {
+			RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+		})
+		var buf bytes.Buffer
+		if err := sess.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Error("identical detection runs produced different trace exports")
+	}
+}
+
+func TestDetectionTraceCrossChecksBus(t *testing.T) {
+	sess := withSession(t, func() {
+		d, err := NewHardwareDetector(5, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		RunDetectionScenario(func() Detector { return d })
+	})
+	if sess.Len() == 0 {
+		t.Fatal("no simulations recorded")
+	}
+	for _, r := range sess.Recorders() {
+		for _, pair := range [][2]string{
+			{"bus.transactions", "busfield.transactions"},
+			{"bus.words", "busfield.words"},
+			{"bus.stall_cycles", "busfield.stall_cycles"},
+			{"bus.occupied_cycles", "busfield.occupied_cycles"},
+		} {
+			if r.Counter(pair[0]) != r.Counter(pair[1]) {
+				t.Errorf("%s: %s = %d but %s = %d", r.Label,
+					pair[0], r.Counter(pair[0]), pair[1], r.Counter(pair[1]))
+			}
+		}
+	}
+}
+
+func TestDetectionCyclesUnchangedByTracing(t *testing.T) {
+	plain := RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+	var traced DetectionResult
+	withSession(t, func() {
+		traced = RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+	})
+	if plain.AppCycles != traced.AppCycles || plain.Invocations != traced.Invocations {
+		t.Errorf("tracing changed the measurement: %+v vs %+v", plain, traced)
+	}
+}
+
+func TestDetectionTraceSeesDeadlockVerdict(t *testing.T) {
+	sess := withSession(t, func() {
+		RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+	})
+	found := false
+	for _, r := range sess.Recorders() {
+		for _, ev := range r.Events() {
+			if ev.Kind == trace.KindDetect && ev.Name == "detect.invoke" && ev.Verdict == "deadlock" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no detect.invoke event with verdict=deadlock; the scenario must end in detected deadlock")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"deltartos/internal/delta"
 	"deltartos/internal/pdda"
 	"deltartos/internal/rag"
+	"deltartos/internal/rtos"
 )
 
 func init() {
@@ -229,6 +230,14 @@ func runFig17() (Result, error) {
 }
 
 func runFig20() (Result, error) {
+	r, _, err := RunFig20()
+	return r, err
+}
+
+// RunFig20 runs the robot scenario once and returns both the rendered
+// Figure 20 excerpt and the full scheduler trace, so callers that also want
+// a waveform dump (deltasim -exp fig20 -vcd) do not re-run the scenario.
+func RunFig20() (Result, []rtos.TraceEvent, error) {
 	res := app.RunRobotScenario(app.NewRTOS6Locks, true)
 	r := Result{
 		ID:     "fig20",
@@ -254,7 +263,7 @@ func runFig20() (Result, error) {
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("full trace: %d events; preemptions observed: %v", len(res.Trace), sawPreempt),
 		"with IPCP, task3's CS raises it to the ceiling, so task2's arrival does not preempt mid-CS")
-	return r, nil
+	return r, res.Trace, nil
 }
 
 func fmtProcs(ps []int) string {

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Summary is the machine-readable form of one experiment run: the rendered
+// table plus whatever counters the tracing layer accumulated while the
+// experiment's simulations ran.  Counters is nil when tracing was off.
+type Summary struct {
+	ID       string            `json:"id"`
+	Title    string            `json:"title"`
+	Header   []string          `json:"header"`
+	Rows     [][]string        `json:"rows"`
+	Notes    []string          `json:"notes,omitempty"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// NewSummary pairs a rendered result with its counters.
+func NewSummary(r Result, counters map[string]uint64) Summary {
+	return Summary{
+		ID:       r.ID,
+		Title:    r.Title,
+		Header:   r.Header,
+		Rows:     r.Rows,
+		Notes:    r.Notes,
+		Counters: counters,
+	}
+}
+
+// WriteSummaries emits the summaries as an indented JSON array.  Counter maps
+// marshal with sorted keys, so output is deterministic for a deterministic
+// run set.
+func WriteSummaries(w io.Writer, ss []Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ss)
+}

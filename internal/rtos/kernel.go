@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"deltartos/internal/sim"
+	"deltartos/internal/trace"
 )
 
 // TaskState enumerates the TCB states.
@@ -141,6 +142,12 @@ func (k *Kernel) Tasks() []*Task { return k.tasks }
 func (k *Kernel) trace(pe int, task, what string) {
 	if k.TraceFn != nil {
 		k.TraceFn(TraceEvent{Time: k.S.Now(), PE: pe, Task: task, What: what})
+	}
+	if r := k.S.Rec; r != nil {
+		r.Record(trace.Event{
+			Cycle: k.S.Now(), PE: pe, Proc: task,
+			Kind: trace.KindSched, Name: "sched." + what, Arg: -1,
+		})
 	}
 }
 
@@ -488,6 +495,7 @@ func (c *TaskCtx) Resume(t *Task) {
 func (c *TaskCtx) serviceOverhead(words int) {
 	c.ensureRunning()
 	c.k.ServiceCalls++
+	entry := c.p.Now()
 	cost := sim.Cycles(sim.KernelEntryCycles + sim.KernelExitCycles + sim.SpinLockProbeCycles)
 	c.p.Delay(cost)
 	c.t.CPUCycles += cost
@@ -497,6 +505,13 @@ func (c *TaskCtx) serviceOverhead(words int) {
 	}
 	busC := sim.TransactionCycles(1) + sim.TransactionCycles(words)
 	c.t.CPUCycles += busC
+	if r := c.k.S.Rec; r != nil {
+		r.Record(trace.Event{
+			Cycle: entry, Dur: c.p.Now() - entry,
+			PE: c.t.PE, Proc: c.t.Name,
+			Kind: trace.KindService, Name: "kernel.service", Words: words, Arg: -1,
+		})
+	}
 }
 
 // Park blocks the calling task until some other context calls Unpark on it.

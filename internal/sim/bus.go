@@ -1,5 +1,7 @@
 package sim
 
+import "deltartos/internal/trace"
+
 // Bus models the shared system bus, its arbiter and the memory controller.
 //
 // The paper's timing assumption (Section 5.5): three cycles of the system
@@ -31,8 +33,13 @@ type Bus struct {
 	// Instrumentation.
 	Transactions Cycles
 	WordsMoved   Cycles
-	StallCycles  Cycles // cycles procs spent waiting for the bus
+	StallCycles  Cycles // cycles procs spent waiting for a busy bus
 	Retries      Cycles // re-arbitration rounds under ArbPriority
+	// OccupiedCycles is the total time the bus was actually driven,
+	// tracked directly per transaction (a Transact word stream and a
+	// TransactFast word stream occupy differently, so occupancy cannot be
+	// reconstructed from Transactions and WordsMoved alone).
+	OccupiedCycles Cycles
 }
 
 // SetArbitration selects the arbiter policy (call before simulation).
@@ -61,6 +68,22 @@ func TransactionCycles(words int) Cycles {
 	return BusFirstWordCycles + Cycles(words-1)*BusBurstWordCycles
 }
 
+// complete books one finished transfer: grant at start, occupancy cost,
+// preceded by wait cycles of arbitration stall, for proc p moving words.
+func (b *Bus) complete(p *Proc, name string, start, cost, wait Cycles, words int) {
+	b.Transactions++
+	b.WordsMoved += Cycles(words)
+	b.StallCycles += wait
+	b.OccupiedCycles += cost
+	if r := b.sim.Rec; r != nil {
+		r.Record(trace.Event{
+			Cycle: start, Dur: cost, Wait: wait,
+			PE: p.PE, Proc: p.Name,
+			Kind: trace.KindBus, Name: name, Words: words, Arg: -1,
+		})
+	}
+}
+
 // Transact performs a words-long transfer from proc p, blocking p for the
 // arbitration wait plus the transfer itself.
 func (b *Bus) Transact(p *Proc, words int) {
@@ -69,7 +92,7 @@ func (b *Bus) Transact(p *Proc, words int) {
 	}
 	cost := TransactionCycles(words)
 	if b.policy == ArbPriority {
-		b.transactPriority(p, cost, Cycles(words))
+		b.transactPriority(p, cost, words)
 		return
 	}
 	now := b.sim.now
@@ -79,34 +102,36 @@ func (b *Bus) Transact(p *Proc, words int) {
 	}
 	wait := start - now
 	b.busyUntil = start + cost
-	b.Transactions++
-	b.WordsMoved += Cycles(words)
-	b.StallCycles += wait
+	b.complete(p, "bus.transact", start, cost, wait, words)
 	p.Delay(wait + cost)
 }
 
 // transactPriority resolves contention with PE-indexed skew: a contender
-// waits until the current transfer ends plus a penalty of its PE index, so
-// when several masters re-arbitrate for the same slot the lowest-numbered
-// (highest-priority) PE claims first and the others loop.
-func (b *Bus) transactPriority(p *Proc, cost, words Cycles) {
+// waits until the current transfer ends plus a penalty of one cycle per
+// priority level below the top, so when several masters re-arbitrate for
+// the same slot the highest-priority master claims first and the others
+// loop.  Device/unit contexts (PE -1) re-arbitrate with no skew at all and
+// therefore win over every PE, including PE0.  The skew is an artifact of
+// the retry model, not bus traffic: only the time spent waiting for a busy
+// bus counts toward StallCycles.
+func (b *Bus) transactPriority(p *Proc, cost Cycles, words int) {
 	skew := Cycles(0)
-	if p.PE > 0 {
-		skew = Cycles(p.PE)
+	if p.PE >= 0 {
+		skew = Cycles(p.PE) + 1
 	}
+	var stalled Cycles
 	for {
 		now := b.sim.now
 		if b.busyUntil <= now {
 			b.busyUntil = now + cost
-			b.Transactions++
-			b.WordsMoved += words
+			b.complete(p, "bus.transact", now, cost, stalled, words)
 			p.Delay(cost)
 			return
 		}
-		wait := b.busyUntil - now + skew
-		b.StallCycles += wait
+		busWait := b.busyUntil - now
+		stalled += busWait
 		b.Retries++
-		p.Delay(wait)
+		p.Delay(busWait + skew)
 	}
 }
 
@@ -125,9 +150,7 @@ func (b *Bus) TransactFast(p *Proc, words int) {
 	}
 	wait := start - now
 	b.busyUntil = start + cost
-	b.Transactions++
-	b.WordsMoved += Cycles(words)
-	b.StallCycles += wait
+	b.complete(p, "bus.fast", start, cost, wait, words)
 	p.Delay(wait + cost)
 }
 
@@ -142,7 +165,5 @@ func (b *Bus) Utilization() float64 {
 	if b.sim.now == 0 {
 		return 0
 	}
-	occupied := b.WordsMoved*BusBurstWordCycles +
-		b.Transactions*(BusFirstWordCycles-BusBurstWordCycles)
-	return float64(occupied) / float64(b.sim.now)
+	return float64(b.OccupiedCycles) / float64(b.sim.now)
 }

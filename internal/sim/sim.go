@@ -17,6 +17,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"deltartos/internal/trace"
 )
 
 // Cycles is simulation time in bus-clock cycles.
@@ -30,12 +32,26 @@ type Sim struct {
 	procs  []*Proc
 	// Bus is the shared system bus all PEs and hardware units sit on.
 	Bus *Bus
+	// Rec, when non-nil, receives cycle-attributed trace events from the
+	// bus, the RTOS and the hardware units.  Nil (the default) disables
+	// tracing at the cost of a nil check per hook — no simulated cycles
+	// are ever charged for recording, so cycle counts are identical with
+	// tracing on or off.
+	Rec *trace.Recorder
 }
+
+// OnNew, when non-nil, is called for every Sim created by New.  The tracing
+// layer uses it to attach a trace.Recorder to every simulation an
+// experiment constructs, however deep inside the run it is built.
+var OnNew func(*Sim)
 
 // New creates an empty simulation with a default bus.
 func New() *Sim {
 	s := &Sim{}
 	s.Bus = NewBus(s)
+	if OnNew != nil {
+		OnNew(s)
+	}
 	return s
 }
 
@@ -142,6 +158,17 @@ func (s *Sim) Run() Cycles {
 		}
 		s.now = e.t
 		s.dispatch(e.p)
+	}
+	if s.Rec != nil {
+		// Stamp the legacy Bus instrumentation fields into the registry so
+		// every export carries both the event-derived counters and the
+		// fields they subsume; equality between the two is the tracing
+		// layer's self-check (see TestRecorderCrossChecksBusCounters).
+		s.Rec.SetCounter("busfield.transactions", s.Bus.Transactions)
+		s.Rec.SetCounter("busfield.words", s.Bus.WordsMoved)
+		s.Rec.SetCounter("busfield.stall_cycles", s.Bus.StallCycles)
+		s.Rec.SetCounter("busfield.occupied_cycles", s.Bus.OccupiedCycles)
+		s.Rec.SetCounter("sim.end_cycle", s.now)
 	}
 	return s.now
 }

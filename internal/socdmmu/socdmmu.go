@@ -15,8 +15,26 @@ import (
 	"deltartos/internal/gates"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
+	"deltartos/internal/trace"
 	"deltartos/internal/verilog"
 )
+
+// record sends an allocator event to the simulation's recorder, if attached.
+func record(c *rtos.TaskCtx, name string, start sim.Cycles, bytes int, addr Addr, err error) {
+	r := c.Kernel().S.Rec
+	if r == nil {
+		return
+	}
+	verdict := "ok"
+	if err != nil {
+		verdict = "fail"
+	}
+	r.Record(trace.Event{
+		Cycle: start, Dur: c.Now() - start,
+		PE: c.Task().PE, Proc: c.Task().Name,
+		Kind: trace.KindAlloc, Name: name, Words: bytes, Arg: int64(addr), Verdict: verdict,
+	})
+}
 
 // Addr is a global (L2) memory address.
 type Addr uint32
@@ -115,9 +133,12 @@ func (u *Unit) FreeBlocks() int {
 // Alloc implements Allocator: a G_alloc_ex command.  The caller writes the
 // command word, the unit executes in a deterministic 4 cycles, and the
 // caller reads back the block address.
-func (u *Unit) Alloc(c *rtos.TaskCtx, bytes int) (Addr, error) {
+func (u *Unit) Alloc(c *rtos.TaskCtx, bytes int) (addr Addr, err error) {
 	start := c.Now()
-	defer func() { u.stats.MgmtCycles += c.Now() - start }()
+	defer func() {
+		u.stats.MgmtCycles += c.Now() - start
+		record(c, "alloc.alloc", start, bytes, addr, err)
+	}()
 	if bytes <= 0 {
 		return 0, fmt.Errorf("socdmmu: invalid size %d", bytes)
 	}
@@ -152,9 +173,12 @@ func (u *Unit) Alloc(c *rtos.TaskCtx, bytes int) (Addr, error) {
 }
 
 // Free implements Allocator: a G_dealloc command.
-func (u *Unit) Free(c *rtos.TaskCtx, addr Addr) error {
+func (u *Unit) Free(c *rtos.TaskCtx, addr Addr) (err error) {
 	start := c.Now()
-	defer func() { u.stats.MgmtCycles += c.Now() - start }()
+	defer func() {
+		u.stats.MgmtCycles += c.Now() - start
+		record(c, "alloc.free", start, 0, addr, err)
+	}()
 	c.BusWrite(1)
 	c.ChargeCompute(execCycles)
 	blocks, ok := u.spans[addr]
@@ -213,9 +237,12 @@ func NewSoftwareAllocator(totalBytes int) (*SoftwareAllocator, error) {
 const headerAccesses = 12 // chunk header/footer writes + arena/bin bookkeeping
 
 // Alloc implements Allocator with first-fit search.
-func (a *SoftwareAllocator) Alloc(c *rtos.TaskCtx, bytes int) (Addr, error) {
+func (a *SoftwareAllocator) Alloc(c *rtos.TaskCtx, bytes int) (addr Addr, err error) {
 	start := c.Now()
-	defer func() { a.stats.MgmtCycles += c.Now() - start }()
+	defer func() {
+		a.stats.MgmtCycles += c.Now() - start
+		record(c, "alloc.alloc", start, bytes, addr, err)
+	}()
 	if bytes <= 0 {
 		return 0, fmt.Errorf("socdmmu: invalid size %d", bytes)
 	}
@@ -247,9 +274,12 @@ func (a *SoftwareAllocator) Alloc(c *rtos.TaskCtx, bytes int) (Addr, error) {
 }
 
 // Free implements Allocator with address-ordered insert and coalescing.
-func (a *SoftwareAllocator) Free(c *rtos.TaskCtx, addr Addr) error {
+func (a *SoftwareAllocator) Free(c *rtos.TaskCtx, addr Addr) (err error) {
 	start := c.Now()
-	defer func() { a.stats.MgmtCycles += c.Now() - start }()
+	defer func() {
+		a.stats.MgmtCycles += c.Now() - start
+		record(c, "alloc.free", start, 0, addr, err)
+	}()
 	size, ok := a.spans[addr]
 	if !ok {
 		return fmt.Errorf("socdmmu: free of unallocated address %#x", addr)

@@ -25,8 +25,20 @@ import (
 	"deltartos/internal/gates"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
+	"deltartos/internal/trace"
 	"deltartos/internal/verilog"
 )
+
+// record sends a lock event to the simulation's recorder, if attached.
+func record(c *rtos.TaskCtx, name string, start sim.Cycles, id int, verdict string) {
+	if r := c.Kernel().S.Rec; r != nil {
+		r.Record(trace.Event{
+			Cycle: start, Dur: c.Now() - start,
+			PE: c.Task().PE, Proc: c.Task().Name,
+			Kind: trace.KindLock, Name: name, Arg: int64(id), Verdict: verdict,
+		})
+	}
+}
 
 // Manager is the common interface of the software and hardware lock systems.
 type Manager interface {
@@ -141,6 +153,7 @@ func (sl *SoftwareLocks) Acquire(c *rtos.TaskCtx, id int) {
 		l.owner = t
 		l.savedPrio = t.CurPrio
 		sl.stats.TotalLatency += c.Now() - start
+		record(c, "lock.acquire", start, id, "uncontended")
 		return
 	}
 	sl.stats.Contended++
@@ -157,6 +170,7 @@ func (sl *SoftwareLocks) Acquire(c *rtos.TaskCtx, id int) {
 	// bookkeeping before returning to the application.
 	c.ChargeSharedAccesses(12)
 	sl.stats.TotalDelay += c.Now() - start
+	record(c, "lock.acquire", start, id, "contended")
 }
 
 // Release implements Manager.
@@ -166,12 +180,14 @@ func (sl *SoftwareLocks) Release(c *rtos.TaskCtx, id int) {
 	if l.owner != t {
 		panic(fmt.Sprintf("soclc: %s releasing lock %d owned by %v", t.Name, id, l.owner))
 	}
+	start := c.Now()
 	c.ChargeCompute(wrapperCPUCycles)
 	c.ChargeService(serviceWords)
 	c.ChargeSharedAccesses(swUnlockAccesses)
 	sl.k.SetTaskPriority(t, l.savedPrio)
 	if len(l.waiters) == 0 {
 		l.owner = nil
+		record(c, "lock.release", start, id, "")
 		return
 	}
 	// Hand-off: walk the waiter queue, transfer ownership, and restore the
@@ -182,6 +198,7 @@ func (sl *SoftwareLocks) Release(c *rtos.TaskCtx, id int) {
 	l.owner = next
 	l.savedPrio = next.BasePrio
 	delete(l.reqTime, next)
+	record(c, "lock.handoff", start, id, next.Name)
 	sl.k.Unpark(next)
 }
 
@@ -206,6 +223,7 @@ func (sl *SoftwareLocks) AcquireShort(c *rtos.TaskCtx, id int) {
 			c.BusWrite(1) // claim (store-conditional)
 			sl.ShortAcquires++
 			sl.ShortSpinCycles += c.Now() - start
+			record(c, "lock.acquire.short", start, id, "")
 			return
 		}
 		c.ChargeCompute(sim.SpinLockProbeCycles)
@@ -292,6 +310,7 @@ func (lc *LockCache) Acquire(c *rtos.TaskCtx, id int) {
 			lc.k.SetTaskPriority(t, lc.ceilings[id]) // IPCP in hardware
 		}
 		lc.stats.TotalLatency += c.Now() - start
+		record(c, "lock.acquire", start, id, "uncontended")
 		return
 	}
 	// Busy: the SoCLC queues the PE in hardware; the task blocks and will be
@@ -301,6 +320,7 @@ func (lc *LockCache) Acquire(c *rtos.TaskCtx, id int) {
 	l.reqTime[t] = start
 	c.Park(fmt.Sprintf("soclc:%d", id))
 	lc.stats.TotalDelay += c.Now() - start
+	record(c, "lock.acquire", start, id, "contended")
 }
 
 // Release implements Manager: one lock-cache bus access; the unit hands the
@@ -311,6 +331,7 @@ func (lc *LockCache) Release(c *rtos.TaskCtx, id int) {
 	if l.owner != t {
 		panic(fmt.Sprintf("soclc: %s releasing lock %d owned by %v", t.Name, id, l.owner))
 	}
+	start := c.Now()
 	c.ChargeCompute(wrapperCPUCycles)
 	c.ChargeService(serviceWords)
 	c.ChargeSharedAccesses(hwUnlockAccesses)
@@ -318,6 +339,7 @@ func (lc *LockCache) Release(c *rtos.TaskCtx, id int) {
 	lc.k.SetTaskPriority(t, l.savedPrio)
 	if len(l.waiters) == 0 {
 		l.owner = nil
+		record(c, "lock.release", start, id, "")
 		return
 	}
 	next := l.waiters[0]
@@ -328,6 +350,7 @@ func (lc *LockCache) Release(c *rtos.TaskCtx, id int) {
 		lc.k.SetTaskPriority(next, lc.ceilings[id])
 	}
 	delete(l.reqTime, next)
+	record(c, "lock.handoff", start, id, next.Name)
 	// Hardware raises the lock-grant interrupt on the waiter's PE.
 	lc.Interrupts++
 	lc.k.S.Spawn(fmt.Sprintf("soclc.irq.%d", lc.Interrupts), -1, func(p *sim.Proc) {
@@ -351,6 +374,7 @@ func (lc *LockCache) AcquireShort(c *rtos.TaskCtx, id int) {
 			lc.shorts[id] = true
 			lc.ShortAcquires++
 			lc.ShortSpinCycles += c.Now() - start
+			record(c, "lock.acquire.short", start, id, "")
 			return
 		}
 		c.ChargeCompute(sim.SpinLockProbeCycles)
