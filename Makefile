@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet race bench
+.PHONY: tier1 build test vet race bench chaos
 
 # tier1 is the merge gate: everything must build, vet clean, and pass the
 # test suite under the race detector.
@@ -20,3 +20,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# chaos is the fault-injection smoke: a short seeded campaign on each lock
+# system.  Every seed must reach a classified terminal state (the binary
+# exits nonzero on a panic or an unexplained leak).
+chaos:
+	$(GO) run ./cmd/deltasim -chaos -chaos-seeds 3 -chaos-system rtos5
+	$(GO) run ./cmd/deltasim -chaos -chaos-seeds 3 -chaos-system rtos6

@@ -40,6 +40,11 @@ func main() {
 	vcdPath := flag.String("vcd", "", "with -exp fig20: also write the robot schedule waveform to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulation run")
 	metricsPath := flag.String("metrics", "", "write per-experiment JSON summaries (table rows + trace counters)")
+	chaos := flag.Bool("chaos", false, "run a fault-injection campaign over the chaos workload")
+	chaosSeeds := flag.Int("chaos-seeds", 5, "with -chaos: number of seeds to sweep")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "with -chaos: first seed (run i uses seed+i)")
+	chaosFaults := flag.Int("chaos-faults", 6, "with -chaos: faults injected per run")
+	chaosSystem := flag.String("chaos-system", "rtos5", "with -chaos: lock system under test (rtos5 or rtos6)")
 	flag.Parse()
 
 	if *vcdPath != "" && *exp != "fig20" {
@@ -59,6 +64,16 @@ func main() {
 	collect := *metricsPath != ""
 
 	switch {
+	case *chaos:
+		cfg := experiments.DefaultChaosConfig()
+		cfg.Seeds = *chaosSeeds
+		cfg.BaseSeed = *chaosSeed
+		cfg.Faults = *chaosFaults
+		cfg.System = *chaosSystem
+		if err := runChaos(cfg, session, collect, &summaries); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim: chaos:", err)
+			os.Exit(1)
+		}
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-9s %s\n", e.ID, e.Title)
@@ -129,6 +144,39 @@ func runOne(e experiments.Experiment, session *trace.Session, collect bool, summ
 			counters = session.CountersFrom(mark)
 		}
 		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+	}
+	return nil
+}
+
+// runChaos runs a configured fault-injection campaign.  Its summary merges
+// the per-run recovery counters with whatever the tracing layer collected.
+func runChaos(cfg experiments.ChaosConfig, session *trace.Session, collect bool, summaries *[]experiments.Summary) error {
+	mark := 0
+	if session != nil {
+		mark = session.Len()
+		curLabel = "chaos"
+	}
+	res, runs, err := experiments.RunChaosCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(res))
+	if collect {
+		counters := experiments.ChaosCounters(runs)
+		if session != nil {
+			for k, v := range session.CountersFrom(mark) {
+				counters[k] += v
+			}
+		}
+		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+	}
+	// An unexplained leak means recovery failed its reclaim obligation —
+	// that is a bug in the stack, not a fault outcome, so the campaign
+	// itself fails (this is what `make chaos` gates on in CI).
+	for _, run := range runs {
+		if run.UnexplainedLeaks > 0 {
+			return fmt.Errorf("seed %d: %d allocation block(s) recovery failed to reclaim", run.Seed, run.UnexplainedLeaks)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,37 @@
+package app
+
+import "testing"
+
+func TestChaosScenarioCleanRun(t *testing.T) {
+	ends := map[string]uint64{}
+	for _, sys := range []string{"rtos5", "rtos6"} {
+		mk := NewRTOS5Locks
+		if sys == "rtos6" {
+			mk = NewRTOS6Locks
+		}
+		w := BuildChaosScenario(mk)
+		end := w.S.Run()
+		for _, tk := range w.K.Tasks() {
+			if _, done := tk.Finished(); !done {
+				t.Errorf("%s: task %s did not finish (state %v)", sys, tk.Name, tk.State())
+			}
+		}
+		if live := w.Mem.Live(); len(live) != 0 {
+			t.Errorf("%s: clean run leaked blocks: %v", sys, live)
+		}
+		if w.AllocFailures != 0 {
+			t.Errorf("%s: clean run saw %d alloc failures", sys, w.AllocFailures)
+		}
+		if w.IRQServices != chaosIters {
+			t.Errorf("%s: IRQ services = %d, want %d (one per MPEG slice)", sys, w.IRQServices, chaosIters)
+		}
+		ends[sys] = uint64(end)
+
+		// Determinism: an identical build runs to the identical cycle.
+		w2 := BuildChaosScenario(mk)
+		if end2 := w2.S.Run(); end2 != end {
+			t.Errorf("%s: clean run not deterministic: %d vs %d", sys, end, end2)
+		}
+	}
+	t.Logf("clean-run cycles: rtos5=%d rtos6=%d", ends["rtos5"], ends["rtos6"])
+}

@@ -1,0 +1,110 @@
+package dau
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table-driven coverage of Config.Validate.
+func TestConfigValidateTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"ok-minimal", Config{Procs: 1, Resources: 1}, false},
+		{"ok-table2", Config{Procs: 5, Resources: 5}, false},
+		{"ok-livelock-threshold", Config{Procs: 2, Resources: 2, LivelockThreshold: 7}, false},
+		{"zero-procs", Config{Procs: 0, Resources: 3}, true},
+		{"zero-resources", Config{Procs: 3, Resources: 0}, true},
+		{"negative-procs", Config{Procs: -1, Resources: 3}, true},
+		{"negative-resources", Config{Procs: 3, Resources: -2}, true},
+		{"both-zero", Config{}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate(%+v) = %v, wantErr=%v", tc.cfg, err, tc.wantErr)
+			}
+			if _, nerr := New(tc.cfg); (nerr != nil) != tc.wantErr {
+				t.Errorf("New(%+v) error = %v, wantErr=%v", tc.cfg, nerr, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Table-driven coverage of the Exec error paths: invalid opcodes and
+// out-of-range process/resource operands must reject without disturbing the
+// unit's tracked state.
+func TestExecErrorTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		cmd     Command
+		wantSub string // substring expected in the error
+	}{
+		{"bad-opcode", Command{Op: Op(99), Process: 0, Res: 0}, "unknown opcode"},
+		{"negative-opcode", Command{Op: Op(-1), Process: 0, Res: 0}, "unknown opcode"},
+		{"request-proc-high", Command{Op: OpRequest, Process: 3, Res: 0}, "process 3 out of range"},
+		{"request-proc-negative", Command{Op: OpRequest, Process: -1, Res: 0}, "process -1 out of range"},
+		{"request-res-high", Command{Op: OpRequest, Process: 0, Res: 3}, "resource 3 out of range"},
+		{"request-res-negative", Command{Op: OpRequest, Process: 0, Res: -1}, "resource -1 out of range"},
+		{"release-proc-high", Command{Op: OpRelease, Process: 7, Res: 0}, "process 7 out of range"},
+		{"release-res-high", Command{Op: OpRelease, Process: 0, Res: 9}, "resource 9 out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u, err := New(Config{Procs: 3, Resources: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Establish a known holding so we can verify errors leave it
+			// untouched.
+			if _, _, err := u.Request(0, 0); err != nil {
+				t.Fatal(err)
+			}
+			before := u.TotalSteps
+
+			st, steps, err := u.Exec(tc.cmd)
+			if err == nil {
+				t.Fatalf("Exec(%+v) succeeded, want error containing %q", tc.cmd, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error = %q, want substring %q", err, tc.wantSub)
+			}
+			if st != (Status{}) || steps != 0 {
+				t.Errorf("failed command returned status %+v steps %d, want zero values", st, steps)
+			}
+			// A rejected command is still a fetched command (the FSM decoded
+			// it) but must charge no detection steps…
+			if u.Commands != 2 {
+				t.Errorf("Commands = %d, want 2 (rejected commands still count as fetched)", u.Commands)
+			}
+			if u.TotalSteps != before {
+				t.Errorf("TotalSteps moved %d -> %d on a rejected command", before, u.TotalSteps)
+			}
+			// …and must not have disturbed the resource table.
+			if u.Holder(0) != 0 {
+				t.Errorf("holder of r0 = %d after rejected command, want 0", u.Holder(0))
+			}
+			// The unit keeps working after the rejection.
+			if st, _, err := u.Release(0, 0); err != nil || !st.Successful {
+				t.Errorf("release after rejected command: st=%+v err=%v", st, err)
+			}
+		})
+	}
+}
+
+// Request/Release shorthands must route operand errors identically to Exec.
+func TestShorthandErrorParity(t *testing.T) {
+	u, err := New(Config{Procs: 2, Resources: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := u.Request(5, 0); err == nil || !strings.Contains(err.Error(), "process 5 out of range") {
+		t.Errorf("Request(5,0) err = %v", err)
+	}
+	if _, _, err := u.Release(0, 5); err == nil || !strings.Contains(err.Error(), "resource 5 out of range") {
+		t.Errorf("Release(0,5) err = %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"deltartos/internal/sim"
+	"deltartos/internal/trace"
+)
+
+// captureCampaign runs one campaign with tracing attached and returns the
+// marshaled run reports plus the Chrome trace export bytes.
+func captureCampaign(t *testing.T, cfg ChaosConfig) (metrics, traceJSON []byte) {
+	t.Helper()
+	session := trace.NewSession()
+	prev := sim.OnNew
+	sim.OnNew = func(s *sim.Sim) {
+		s.Rec = session.NewRecorder(fmt.Sprintf("chaos#%d", session.Len()))
+	}
+	defer func() { sim.OnNew = prev }()
+
+	_, runs, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err = json.Marshal(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := session.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return metrics, buf.Bytes()
+}
+
+// Same seed set => byte-identical run reports and trace export; a different
+// seed set must diverge.  This is the determinism contract of DESIGN.md s7.
+func TestChaosCampaignDeterministic(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = 2
+
+	m1, t1 := captureCampaign(t, cfg)
+	m2, t2 := captureCampaign(t, cfg)
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("same seeds produced different run reports:\n%s\n---\n%s", m1, m2)
+	}
+	if !bytes.Equal(t1, t2) {
+		t.Error("same seeds produced different trace exports")
+	}
+
+	cfg.BaseSeed += 100
+	m3, t3 := captureCampaign(t, cfg)
+	if bytes.Equal(m1, m3) {
+		t.Error("different seeds produced identical run reports")
+	}
+	if bytes.Equal(t1, t3) {
+		t.Error("different seeds produced identical trace exports")
+	}
+}
+
+// Every run of the default campaign must reach a classified terminal state,
+// and any wedged run must carry a diagnosis.
+func TestChaosCampaignTerminalStates(t *testing.T) {
+	for _, system := range []string{"rtos5", "rtos6"} {
+		cfg := DefaultChaosConfig()
+		cfg.System = system
+		_, runs, err := RunChaosCampaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(runs) != cfg.Seeds {
+			t.Fatalf("%s: %d runs, want %d", system, len(runs), cfg.Seeds)
+		}
+		for _, run := range runs {
+			switch run.Outcome {
+			case "survived", "recovered", "degraded":
+			case "wedged":
+				if run.Diagnosis == "" {
+					t.Errorf("%s seed %d: wedged without diagnosis", system, run.Seed)
+				}
+			default:
+				t.Errorf("%s seed %d: unclassified outcome %q", system, run.Seed, run.Outcome)
+			}
+			if run.UnexplainedLeaks != 0 {
+				t.Errorf("%s seed %d: %d blocks recovery failed to reclaim", system, run.Seed, run.UnexplainedLeaks)
+			}
+		}
+	}
+}
+
+// A campaign with zero faults must leave the workload untouched: every seed
+// survives at the clean-run cycle count with no recovery actions.
+func TestChaosZeroFaultsIsClean(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = 2
+	cfg.Faults = 0
+	_, runs, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		if run.Outcome != "survived" || run.Recoveries != 0 || run.Fired != 0 {
+			t.Errorf("seed %d: zero-fault run not clean: %+v", run.Seed, run)
+		}
+	}
+	if runs[0].Cycles != runs[1].Cycles {
+		t.Errorf("zero-fault runs differ: %d vs %d", runs[0].Cycles, runs[1].Cycles)
+	}
+}
+
+func TestChaosCountersFold(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = 2
+	_, runs, err := RunChaosCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ChaosCounters(runs)
+	if c["chaos.runs"] != 2 {
+		t.Errorf("chaos.runs = %d, want 2", c["chaos.runs"])
+	}
+	var outcomes uint64
+	for _, o := range []string{"survived", "recovered", "degraded", "wedged"} {
+		outcomes += c["chaos.outcome."+o]
+	}
+	if outcomes != 2 {
+		t.Errorf("outcome counters sum to %d, want 2", outcomes)
+	}
+	if c["chaos.faults_fired"]+c["chaos.faults_pending"] != uint64(2*cfg.Faults) {
+		t.Errorf("fired+pending = %d, want %d",
+			c["chaos.faults_fired"]+c["chaos.faults_pending"], 2*cfg.Faults)
+	}
+}
+
+func TestChaosUnknownSystem(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.System = "rtos9"
+	if _, _, err := RunChaosCampaign(cfg); err == nil {
+		t.Error("unknown lock system accepted")
+	}
+}

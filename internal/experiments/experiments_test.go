@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table10", "table11", "table12",
 		"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig20",
 		"ext-scale", "ext-parallel", "ext-livelock",
+		"chaos",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

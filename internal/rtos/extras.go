@@ -96,7 +96,19 @@ func (k *Kernel) NewBarrier(name string, n int) *Barrier {
 	if n <= 0 {
 		panic("rtos: barrier needs at least one participant")
 	}
-	return &Barrier{k: k, Name: name, n: n}
+	b := &Barrier{k: k, Name: name, n: n}
+	k.syncObjs = append(k.syncObjs, b)
+	return b
+}
+
+// purgeTask drops a killed task's pending arrival so the remaining
+// participants are not counted against a corpse (Kernel.Kill).  Note the
+// barrier still expects n participants on future rounds.
+func (b *Barrier) purgeTask(t *Task) {
+	var ok bool
+	if b.waiters, ok = removeTask(b.waiters, t); ok {
+		b.arrived--
+	}
 }
 
 // Wait blocks the calling task until all participants have arrived.

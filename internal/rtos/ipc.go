@@ -18,7 +18,15 @@ type Mailbox struct {
 
 // NewMailbox creates an empty mailbox.
 func (k *Kernel) NewMailbox(name string) *Mailbox {
-	return &Mailbox{k: k, Name: name}
+	m := &Mailbox{k: k, Name: name}
+	k.syncObjs = append(k.syncObjs, m)
+	return m
+}
+
+// purgeTask drops a killed task from both wait queues (Kernel.Kill).
+func (m *Mailbox) purgeTask(t *Task) {
+	m.readers, _ = removeTask(m.readers, t)
+	m.writers, _ = removeTask(m.writers, t)
 }
 
 // Send deposits msg, blocking while the box is full.
@@ -102,7 +110,15 @@ func (k *Kernel) NewQueue(name string, capacity int) *Queue {
 	if capacity <= 0 {
 		panic("rtos: queue capacity must be positive")
 	}
-	return &Queue{k: k, Name: name, cap: capacity}
+	q := &Queue{k: k, Name: name, cap: capacity}
+	k.syncObjs = append(k.syncObjs, q)
+	return q
+}
+
+// purgeTask drops a killed task from both wait queues (Kernel.Kill).
+func (q *Queue) purgeTask(t *Task) {
+	q.readers, _ = removeTask(q.readers, t)
+	q.writers, _ = removeTask(q.writers, t)
 }
 
 // Len returns the number of queued messages.
@@ -173,7 +189,20 @@ type eventWait struct {
 
 // NewEventFlags creates an event group with all bits clear.
 func (k *Kernel) NewEventFlags(name string) *EventFlags {
-	return &EventFlags{k: k, Name: name}
+	e := &EventFlags{k: k, Name: name}
+	k.syncObjs = append(k.syncObjs, e)
+	return e
+}
+
+// purgeTask drops a killed task's pending waits (Kernel.Kill).
+func (e *EventFlags) purgeTask(t *Task) {
+	remaining := e.waits[:0]
+	for _, w := range e.waits {
+		if w.t != t {
+			remaining = append(remaining, w)
+		}
+	}
+	e.waits = remaining
 }
 
 // Bits returns the current flag bits.

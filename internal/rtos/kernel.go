@@ -33,6 +33,10 @@ const (
 	StateSleeping
 	StateSuspended
 	StateDone
+	// StateKilled is a task terminated by Kernel.Kill (watchdog or deadlock
+	// recovery) before its body completed.  A killed task can be revived
+	// with Kernel.Restart.
+	StateKilled
 )
 
 func (st TaskState) String() string {
@@ -51,6 +55,8 @@ func (st TaskState) String() string {
 		return "suspended"
 	case StateDone:
 		return "done"
+	case StateKilled:
+		return "killed"
 	}
 	return fmt.Sprintf("TaskState(%d)", int(st))
 }
@@ -73,6 +79,7 @@ type Task struct {
 	sleeping  bool   // parked inside an interruptible Compute chunk
 	needCtx   bool   // charge a context switch on next resume
 	waitingOn *Mutex // PI mutex the task is blocked on (inheritance chains)
+	killed    bool   // unwind at the next scheduling point (Kernel.Kill)
 
 	// Instrumentation.
 	CPUCycles     sim.Cycles
@@ -80,6 +87,8 @@ type Task struct {
 	FinishedAt    sim.Cycles
 	finishedValid bool
 	blockedOn     string
+	Restarts      int        // times the task was revived after a kill
+	KilledAt      sim.Cycles // time of the most recent kill
 }
 
 // State returns the task's current scheduling state.
@@ -104,9 +113,14 @@ type Kernel struct {
 	memAlloc MemAllocFn
 	memFree  MemFreeFn
 
+	misuseFn func(error) bool
+	finj     FaultInjector
+	syncObjs []waitPurger
+
 	// Instrumentation.
 	ContextSwitches int
 	ServiceCalls    int
+	Kills           int
 	// TraceFn, when set, receives scheduling trace records (Figure 20-style
 	// execution traces).
 	TraceFn func(ev TraceEvent)
@@ -164,17 +178,37 @@ func (k *Kernel) CreateTask(name string, pe, prio int, startAt sim.Cycles, body 
 	}
 	k.tasks = append(k.tasks, t)
 	t.sig = k.S.NewSignal("task." + name)
-	t.proc = k.S.Spawn("task."+name, pe, func(p *sim.Proc) {
-		if t.startAt > 0 {
-			p.Delay(t.startAt)
+	k.spawnTaskProc(t, t.startAt)
+	return t
+}
+
+// taskKill is the panic sentinel that unwinds a killed task's body back to
+// the spawn wrapper (Go's substitute for the context teardown a real kernel
+// performs when it deletes a TCB).
+type taskKill struct{ t *Task }
+
+// spawnTaskProc starts (or re-starts) the simulation proc that runs t's
+// body, unwinding cleanly if the task is killed mid-flight.
+func (k *Kernel) spawnTaskProc(t *Task, delay sim.Cycles) {
+	t.proc = k.S.Spawn("task."+t.Name, t.PE, func(p *sim.Proc) {
+		if delay > 0 {
+			p.Delay(delay)
 		}
+		defer func() {
+			if r := recover(); r != nil {
+				ks, ok := r.(taskKill)
+				if !ok || ks.t != t {
+					panic(r)
+				}
+				k.finishKill(t)
+			}
+		}()
 		k.makeReady(t)
 		c := &TaskCtx{k: k, t: t, p: p}
 		c.ensureRunning()
 		t.body(c)
 		k.exitTask(t)
 	})
-	return t
 }
 
 // readyInsert places t into its PE's ready queue in priority order, FIFO
@@ -208,7 +242,7 @@ func (k *Kernel) readyRemove(t *Task) {
 // makeReady moves a dormant/blocked/sleeping task to ready and reschedules
 // its PE (preempting if the task outranks the current one).
 func (k *Kernel) makeReady(t *Task) {
-	if t.state == StateReady || t.state == StateRunning || t.state == StateDone {
+	if t.state == StateReady || t.state == StateRunning || t.state == StateDone || t.state == StateKilled {
 		return
 	}
 	t.state = StateReady
@@ -283,6 +317,12 @@ func (k *Kernel) exitTask(t *Task) {
 // blockCurrent parks the PE's current task (state Blocked, on `what`) and
 // dispatches the next ready task.  Must be called from t's own context.
 func (k *Kernel) blockCurrent(t *Task, what string) {
+	// A task preempted between its service's bus charges and the actual
+	// block point arrives here Ready: drop it from the ready queue or it
+	// would be dispatched again while blocked.
+	if t.state == StateReady {
+		k.readyRemove(t)
+	}
 	t.state = StateBlocked
 	t.blockedOn = what
 	k.trace(t.PE, t.Name, "block:"+what)
@@ -331,6 +371,117 @@ func (k *Kernel) Deadlocked() []string {
 	return out
 }
 
+// SetMisusePolicy installs the handler consulted when a synchronization or
+// memory service detects API misuse (unlocking an unowned mutex, freeing a
+// free lock, ...).  The handler returns true to tolerate the misuse as a
+// survivable fault event (the service becomes a no-op) or false to fall back
+// to the default panic.  A fault-injection harness installs a tolerant
+// policy; with no policy attached, misuse keeps panicking — it is genuine
+// programmer error.
+func (k *Kernel) SetMisusePolicy(fn func(error) bool) { k.misuseFn = fn }
+
+// Misuse reports a detected API misuse to the installed policy and returns
+// whether it was tolerated.  With no policy installed it returns false (the
+// caller should panic).
+func (k *Kernel) Misuse(err error) bool {
+	if k.misuseFn == nil {
+		return false
+	}
+	return k.misuseFn(err)
+}
+
+// FaultInjector is consulted at task scheduling points when a fault plan is
+// attached: it can crash a task, hang it, or stretch its compute chunks.
+// All methods must be deterministic functions of their arguments and the
+// injector's own (seeded) state.
+type FaultInjector interface {
+	// CrashNow reports whether t must crash (be killed mid-body) now.
+	CrashNow(t *Task, now sim.Cycles) bool
+	// HangNow reports whether t must hang (park forever, holding whatever
+	// it holds) now.
+	HangNow(t *Task, now sim.Cycles) bool
+	// OverrunExtra returns extra cycles to add to a compute chunk of n
+	// cycles starting now (0 = no fault).
+	OverrunExtra(t *Task, n, now sim.Cycles) sim.Cycles
+}
+
+// SetFaultInjector attaches a fault injector to the kernel (nil detaches).
+func (k *Kernel) SetFaultInjector(fi FaultInjector) { k.finj = fi }
+
+// waitPurger is implemented by kernel sync objects that keep waiter queues;
+// Kill uses it to drop a victim from every queue it may sit in.
+type waitPurger interface {
+	purgeTask(t *Task)
+}
+
+// Kill terminates a task from outside its own context (watchdog expiry or
+// deadlock recovery).  The task unwinds at its next scheduling point: it is
+// woken if blocked, sleeping or suspended, removed from kernel sync-object
+// wait queues, and its state becomes StateKilled.  Resources held through
+// external managers (SoCLC locks, SoCDMMU blocks) are NOT released here —
+// recovery reclaims them explicitly.  Reports whether the task was alive.
+// Must not be called from the victim's own task context.
+func (k *Kernel) Kill(t *Task) bool {
+	switch t.state {
+	case StateDone, StateKilled:
+		return false
+	}
+	t.killed = true
+	k.Kills++
+	k.trace(t.PE, t.Name, "kill")
+	for _, o := range k.syncObjs {
+		o.purgeTask(t)
+	}
+	switch t.state {
+	case StateBlocked, StateSleeping, StateSuspended:
+		k.makeReady(t) // wake it so the unwind can run
+	case StateRunning:
+		if t.sleeping {
+			t.sig.WakeAll() // interrupt the compute chunk
+		}
+	}
+	// Dormant and ready tasks unwind when next dispatched.
+	return true
+}
+
+// finishKill completes a kill from inside the victim's unwound proc.
+func (k *Kernel) finishKill(t *Task) {
+	t.state = StateKilled
+	t.blockedOn = ""
+	t.waitingOn = nil
+	t.sleeping = false
+	t.KilledAt = k.S.Now()
+	k.trace(t.PE, t.Name, "killed")
+	k.readyRemove(t)
+	if k.current[t.PE] == t {
+		k.reschedule(t.PE)
+	}
+}
+
+// Restart revives a killed (or completed) task: the TCB is reset to its base
+// priority and the body re-runs from the beginning at the current time.  The
+// recovery policy uses this to give a victim another attempt after its
+// resources were reclaimed.
+func (k *Kernel) Restart(t *Task) error {
+	if t.state != StateKilled && t.state != StateDone {
+		return fmt.Errorf("rtos: restarting task %s in state %v", t.Name, t.state)
+	}
+	t.killed = false
+	t.state = StateDormant
+	t.finishedValid = false
+	t.needCtx = false
+	t.sleeping = false
+	t.waitingOn = nil
+	t.blockedOn = ""
+	t.CurPrio = t.BasePrio
+	t.gen++
+	t.Restarts++
+	t.sig = k.S.NewSignal(fmt.Sprintf("task.%s.r%d", t.Name, t.Restarts))
+	k.trace(t.PE, t.Name, "restart")
+	k.spawnTaskProc(t, 0)
+	return nil
+}
+
 // TaskCtx is the view a task body has of the kernel.
 type TaskCtx struct {
 	k *Kernel
@@ -356,6 +507,9 @@ func (c *TaskCtx) Now() sim.Cycles { return c.p.Now() }
 func (c *TaskCtx) ensureRunning() {
 	t := c.t
 	for {
+		if t.killed {
+			panic(taskKill{t})
+		}
 		if c.k.current[t.PE] == t {
 			if !t.needCtx {
 				return
@@ -374,7 +528,7 @@ func (c *TaskCtx) ensureRunning() {
 // re-dispatched.
 func (c *TaskCtx) Compute(n sim.Cycles) {
 	t := c.t
-	remaining := n
+	remaining := n + c.checkFaults(n)
 	for remaining > 0 {
 		c.ensureRunning()
 		start := c.p.Now()
@@ -399,6 +553,35 @@ func (c *TaskCtx) Compute(n sim.Cycles) {
 	}
 }
 
+// checkFaults consults the attached fault injector at the top of a compute
+// chunk of n cycles.  It may crash the task (unwind via taskKill), hang it
+// (park on "fault:hang" until recovery kills it), or return extra cycles to
+// stretch the chunk.  Returns 0 with no injector attached.
+func (c *TaskCtx) checkFaults(n sim.Cycles) sim.Cycles {
+	fi := c.k.finj
+	if fi == nil {
+		return 0
+	}
+	t := c.t
+	now := c.p.Now()
+	if fi.CrashNow(t, now) {
+		t.killed = true
+		c.k.Kills++
+		c.k.trace(t.PE, t.Name, "fault:crash")
+		for _, o := range c.k.syncObjs {
+			o.purgeTask(t)
+		}
+		panic(taskKill{t})
+	}
+	if fi.HangNow(t, now) {
+		c.k.trace(t.PE, t.Name, "fault:hang")
+		// Only Kernel.Kill releases a hung task; ensureRunning unwinds it
+		// right after Park returns.
+		c.Park("fault:hang")
+	}
+	return fi.OverrunExtra(t, n, now)
+}
+
 // BusRead performs a words-long read over the shared bus.
 func (c *TaskCtx) BusRead(words int) {
 	c.ensureRunning()
@@ -417,6 +600,9 @@ func (c *TaskCtx) BusWrite(words int) {
 func (c *TaskCtx) Sleep(dt sim.Cycles) {
 	c.serviceOverhead(2)
 	t := c.t
+	if t.state == StateReady {
+		c.k.readyRemove(t)
+	}
 	t.state = StateSleeping
 	c.k.trace(t.PE, t.Name, "sleep")
 	if c.k.current[t.PE] == t {
@@ -469,6 +655,9 @@ func (c *TaskCtx) Yield() {
 func (c *TaskCtx) Suspend() {
 	c.serviceOverhead(2)
 	t := c.t
+	if t.state == StateReady {
+		c.k.readyRemove(t)
+	}
 	t.state = StateSuspended
 	c.k.trace(t.PE, t.Name, "suspend")
 	if c.k.current[t.PE] == t {
@@ -585,6 +774,9 @@ func (c *TaskCtx) RunOn(d *sim.Device, duration sim.Cycles) {
 	c.ensureRunning()
 	done := d.Start(c.p, duration)
 	t := c.t
+	if t.state == StateReady {
+		c.k.readyRemove(t)
+	}
 	t.state = StateBlocked
 	t.blockedOn = d.Name
 	c.k.trace(t.PE, t.Name, "block:"+d.Name)

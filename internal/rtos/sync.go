@@ -1,9 +1,20 @@
 package rtos
 
 import (
+	"errors"
 	"fmt"
 
 	"deltartos/internal/sim"
+)
+
+// Typed misuse errors.  With a misuse policy installed (fault-injection
+// campaigns, Kernel.SetMisusePolicy) these are reported and survivable; with
+// none they remain panics — genuine programmer error.
+var (
+	// ErrRelock reports a task locking a mutex it already owns.
+	ErrRelock = errors.New("rtos: mutex re-lock by owner")
+	// ErrNotOwner reports an unlock by a task that does not own the mutex.
+	ErrNotOwner = errors.New("rtos: mutex unlock by non-owner")
 )
 
 // Semaphore is a counting semaphore with priority-ordered wakeup.
@@ -21,7 +32,14 @@ func (k *Kernel) NewSemaphore(name string, initial int) *Semaphore {
 	if initial < 0 {
 		panic("rtos: negative semaphore count")
 	}
-	return &Semaphore{k: k, Name: name, count: initial}
+	s := &Semaphore{k: k, Name: name, count: initial}
+	k.syncObjs = append(k.syncObjs, s)
+	return s
+}
+
+// purgeTask drops a killed task from the wait queue (Kernel.Kill).
+func (s *Semaphore) purgeTask(t *Task) {
+	s.waiters, _ = removeTask(s.waiters, t)
 }
 
 // Count returns the current count.
@@ -132,7 +150,33 @@ const (
 // NewMutex creates a mutex.  For ProtoCeiling the ceiling must be set to the
 // highest priority (lowest number) of any task that uses the lock.
 func (k *Kernel) NewMutex(name string, proto LockProtocol, ceiling int) *Mutex {
-	return &Mutex{k: k, Name: name, Proto: proto, Ceiling: ceiling}
+	m := &Mutex{k: k, Name: name, Proto: proto, Ceiling: ceiling}
+	k.syncObjs = append(k.syncObjs, m)
+	return m
+}
+
+// purgeTask removes a killed task from the wait queue and, if it died as
+// owner, force-hands the lock to the best waiter (or frees it) so survivors
+// are not blocked behind a corpse (Kernel.Kill).
+func (m *Mutex) purgeTask(t *Task) {
+	m.waiters, _ = removeTask(m.waiters, t)
+	if m.owner != t {
+		return
+	}
+	// Undo any boost this acquisition applied to the victim.
+	m.k.setPriority(t, m.savedPrio)
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	m.savedPrio = next.CurPrio
+	if m.Proto == ProtoCeiling && m.Ceiling < next.CurPrio {
+		m.k.setPriority(next, m.Ceiling)
+	}
+	m.k.makeReady(next)
 }
 
 // Owner returns the current owner, or nil.
@@ -150,7 +194,12 @@ func (m *Mutex) Lock(c *TaskCtx) {
 		return
 	}
 	if m.owner == t {
-		panic(fmt.Sprintf("rtos: task %s re-locking mutex %s", t.Name, m.Name))
+		err := fmt.Errorf("%w: task %s, mutex %s", ErrRelock, t.Name, m.Name)
+		if !c.k.Misuse(err) {
+			panic(err.Error())
+		}
+		c.k.trace(t.PE, t.Name, "misuse:relock")
+		return // tolerated: already held, treat as a no-op
 	}
 	m.Contended++
 	if m.Proto == ProtoInherit {
@@ -173,11 +222,11 @@ func (m *Mutex) Lock(c *TaskCtx) {
 	m.waiters = insertByPriority(m.waiters, t)
 	t.waitingOn = m
 	c.k.blockCurrent(t, "mutex:"+m.Name)
-	for m.owner != t {
+	for m.owner != t && !t.killed {
 		t.sig.Wait(c.p)
 	}
 	t.waitingOn = nil
-	c.ensureRunning()
+	c.ensureRunning() // unwinds the task if it was killed while waiting
 	m.Acquires++
 	m.TotalDelay += c.p.Now() - start
 }
@@ -197,7 +246,16 @@ func (m *Mutex) Unlock(c *TaskCtx) {
 	c.serviceOverhead(6)
 	t := c.t
 	if m.owner != t {
-		panic(fmt.Sprintf("rtos: task %s unlocking mutex %s owned by %v", t.Name, m.Name, m.owner))
+		owner := "<free>"
+		if m.owner != nil {
+			owner = m.owner.Name
+		}
+		err := fmt.Errorf("%w: task %s, mutex %s owned by %s", ErrNotOwner, t.Name, m.Name, owner)
+		if !c.k.Misuse(err) {
+			panic(err.Error())
+		}
+		c.k.trace(t.PE, t.Name, "misuse:unlock")
+		return // tolerated: the lock keeps its true owner
 	}
 	// Restore the priority this acquisition may have boosted/raised.
 	c.k.setPriority(t, m.savedPrio)

@@ -35,6 +35,7 @@ type Bus struct {
 	WordsMoved   Cycles
 	StallCycles  Cycles // cycles procs spent waiting for a busy bus
 	Retries      Cycles // re-arbitration rounds under ArbPriority
+	HoldCycles   Cycles // cycles the bus was held by injected stalls (Hold)
 	// OccupiedCycles is the total time the bus was actually driven,
 	// tracked directly per transaction (a Transact word stream and a
 	// TransactFast word stream occupy differently, so occupancy cannot be
@@ -152,6 +153,32 @@ func (b *Bus) TransactFast(p *Proc, words int) {
 	b.busyUntil = start + cost
 	b.complete(p, "bus.fast", start, cost, wait, words)
 	p.Delay(wait + cost)
+}
+
+// Hold seizes the bus for d cycles starting now, as if a rogue master were
+// driving it: transactions issued meanwhile see ordinary arbitration stall.
+// Fault campaigns use this to model transient bus stalls; it moves no words
+// and is free when never called.
+func (b *Bus) Hold(d Cycles) {
+	start := b.sim.now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	b.busyUntil = start + d
+	b.HoldCycles += d
+	b.OccupiedCycles += d
+	// Booked as a zero-word transaction so the event-derived bus counters
+	// stay in lockstep with the legacy instrumentation fields (the tracing
+	// layer's self-check).  The hold itself stalls nobody directly, so no
+	// wait is attributed to it.
+	b.Transactions++
+	if r := b.sim.Rec; r != nil {
+		r.Record(trace.Event{
+			Cycle: start, Dur: d,
+			PE: -1, Proc: "fault",
+			Kind: trace.KindBus, Name: "bus.hold", Arg: -1,
+		})
+	}
 }
 
 // Read performs a words-long read transaction (timing only).

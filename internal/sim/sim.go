@@ -148,7 +148,18 @@ func (s *Sim) schedule(p *Proc, t Cycles) {
 // Procs still blocked when the event queue drains are left blocked — the
 // deadlock-scenario applications rely on observing exactly that state.
 func (s *Sim) Run() Cycles {
+	return s.RunUntil(^Cycles(0))
+}
+
+// RunUntil processes events up to and including time limit, then returns the
+// final time.  Events scheduled past the limit stay queued, so a fault
+// campaign can put a hard fuse on a wedged run (spinning lock waiters keep
+// the event queue alive forever) and still inspect the frozen state.
+func (s *Sim) RunUntil(limit Cycles) Cycles {
 	for len(s.events) > 0 {
+		if s.events[0].t > limit {
+			break
+		}
 		e := heap.Pop(&s.events).(event)
 		if e.p.state == stateDone {
 			continue

@@ -1,0 +1,152 @@
+package socdmmu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"deltartos/internal/rtos"
+	"deltartos/internal/sim"
+)
+
+func TestUnitBadFree(t *testing.T) {
+	u, _ := New(Config{TotalBytes: 256 << 10, BlockBytes: 64 << 10, PEs: 1})
+	runTask(t, func(c *rtos.TaskCtx) {
+		a, err := u.Alloc(c, 128<<10) // 2 blocks
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mid-block free: inside the allocation, not at its start.
+		err = u.Free(c, a+Addr(64<<10))
+		if !errors.Is(err, ErrBadFree) {
+			t.Errorf("mid-block free: err = %v, want ErrBadFree", err)
+		}
+		if err == nil || !strings.Contains(err.Error(), "inside an allocation") {
+			t.Errorf("mid-block free should be diagnosed as such: %v", err)
+		}
+		// The allocation must be untouched.
+		if u.FreeBlocks() != 4-2 {
+			t.Errorf("mid-block free mutated the table: %d free blocks", u.FreeBlocks())
+		}
+		if err := u.Free(c, a); err != nil {
+			t.Fatal(err)
+		}
+		// Double free.
+		err = u.Free(c, a)
+		if !errors.Is(err, ErrBadFree) {
+			t.Errorf("double free: err = %v, want ErrBadFree", err)
+		}
+		// Never-allocated address.
+		if err := u.Free(c, Addr(192<<10)); !errors.Is(err, ErrBadFree) {
+			t.Errorf("bogus free: err = %v, want ErrBadFree", err)
+		}
+	})
+	st := u.Stats()
+	if st.BadFrees != 3 {
+		t.Errorf("BadFrees = %d, want 3", st.BadFrees)
+	}
+	if st.Frees != 1 {
+		t.Errorf("Frees = %d, want 1", st.Frees)
+	}
+	if u.FreeBlocks() != 4 {
+		t.Errorf("blocks leaked: %d free", u.FreeBlocks())
+	}
+}
+
+func TestSoftwareAllocatorBadFree(t *testing.T) {
+	a, _ := NewSoftwareAllocator(1 << 16)
+	runTask(t, func(c *rtos.TaskCtx) {
+		p, err := a.Alloc(c, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(c, p+16); !errors.Is(err, ErrBadFree) {
+			t.Errorf("mid-chunk free: err = %v, want ErrBadFree", err)
+		}
+		if err := a.Free(c, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Free(c, p); !errors.Is(err, ErrBadFree) {
+			t.Errorf("double free: err = %v, want ErrBadFree", err)
+		}
+	})
+	if a.Stats().BadFrees != 2 {
+		t.Errorf("BadFrees = %d, want 2", a.Stats().BadFrees)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnitTagsAndReclaim(t *testing.T) {
+	u, _ := New(Config{TotalBytes: 512 << 10, BlockBytes: 64 << 10, PEs: 2})
+	s := sim.New()
+	k := rtos.NewKernel(s, 2)
+	var victims [2]Addr
+	k.CreateTask("victim", 0, 1, 0, func(c *rtos.TaskCtx) {
+		victims[0], _ = u.Alloc(c, 64<<10)
+		victims[1], _ = u.Alloc(c, 128<<10)
+	})
+	var kept Addr
+	k.CreateTask("survivor", 1, 1, 0, func(c *rtos.TaskCtx) {
+		kept, _ = u.Alloc(c, 64<<10)
+	})
+	s.Run()
+	if got := u.Tag(victims[0]); got != "victim" {
+		t.Errorf("Tag = %q, want victim", got)
+	}
+	reclaimed := u.ReclaimOwnedBy("victim")
+	if len(reclaimed) != 2 || reclaimed[0] != victims[0] || reclaimed[1] != victims[1] {
+		t.Errorf("reclaimed %v, want %v", reclaimed, victims)
+	}
+	if u.Stats().Reclaims != 2 {
+		t.Errorf("Reclaims = %d, want 2", u.Stats().Reclaims)
+	}
+	live := u.Live()
+	if len(live) != 1 || live[0] != kept {
+		t.Errorf("live after reclaim = %v, want [%v]", live, kept)
+	}
+	if u.ReclaimOwnedBy("victim") != nil {
+		t.Error("second reclaim found allocations")
+	}
+	if u.FreeBlocks() != 8-1 {
+		t.Errorf("FreeBlocks = %d, want 7", u.FreeBlocks())
+	}
+}
+
+// dropAll is an Injector losing every G_dealloc command.
+type dropAll struct{}
+
+func (dropAll) DropFree(task string, addr Addr, now sim.Cycles) bool { return true }
+
+func TestUnitDropFreeLeaks(t *testing.T) {
+	u, _ := New(Config{TotalBytes: 256 << 10, BlockBytes: 64 << 10, PEs: 1})
+	runTask(t, func(c *rtos.TaskCtx) {
+		a, err := u.Alloc(c, 64<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.SetInjector(dropAll{})
+		if err := u.Free(c, a); err != nil {
+			t.Errorf("dropped free must look successful, got %v", err)
+		}
+		u.SetInjector(nil)
+		if !u.Leaked(a) {
+			t.Error("leak not attributed to the injected fault")
+		}
+		if u.FreeBlocks() != 3 {
+			t.Errorf("block was actually freed: %d free", u.FreeBlocks())
+		}
+		// Recovery can still take the block back by owner.
+		if got := u.ReclaimOwnedBy("bench"); len(got) != 1 || got[0] != a {
+			t.Errorf("reclaim of leaked block = %v", got)
+		}
+		if u.Leaked(a) {
+			t.Error("leak mark must clear on reclaim")
+		}
+	})
+	st := u.Stats()
+	if st.DroppedFrees != 1 || st.Frees != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -9,6 +9,7 @@
 package socdmmu
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -18,6 +19,12 @@ import (
 	"deltartos/internal/trace"
 	"deltartos/internal/verilog"
 )
+
+// ErrBadFree reports a Free of an address that is not the start of a live
+// allocation: a double free, a free of an address inside a block but not at
+// its start, or a free of something never allocated.  Counted in
+// Stats.BadFrees.
+var ErrBadFree = errors.New("socdmmu: bad free")
 
 // record sends an allocator event to the simulation's recorder, if attached.
 func record(c *rtos.TaskCtx, name string, start sim.Cycles, bytes int, addr Addr, err error) {
@@ -54,6 +61,9 @@ type Stats struct {
 	Allocs, Frees int
 	MgmtCycles    sim.Cycles // total cycles spent inside Alloc/Free
 	FailedAllocs  int
+	BadFrees      int // rejected Free calls (ErrBadFree)
+	DroppedFrees  int // G_dealloc commands lost to injected faults (leaks)
+	Reclaims      int // allocations force-freed by recovery (ReclaimOwnedBy)
 }
 
 // Config sizes an SoCDMMU (the "number of memory blocks" generator
@@ -88,6 +98,16 @@ func (c Config) Blocks() int { return c.TotalBytes / c.BlockBytes }
 // (the unit completes a G_alloc_ex/G_dealloc in 4 cycles).
 const execCycles = 4
 
+// Injector is the fault-injection hook a campaign attaches to the unit.
+// Implementations must be deterministic functions of their arguments and
+// their own seeded state.
+type Injector interface {
+	// DropFree reports whether this G_dealloc command is lost in flight:
+	// the caller believes the free succeeded but the block stays allocated
+	// (a leak).
+	DropFree(task string, addr Addr, now sim.Cycles) bool
+}
+
 // Unit is the hardware SoCDMMU.
 type Unit struct {
 	cfg   Config
@@ -97,6 +117,10 @@ type Unit struct {
 	// PerPE counts blocks held by each PE (the allocation table the unit
 	// uses for virtual-to-physical conversion).
 	PerPE []int
+
+	tags   map[Addr]string // allocation -> owning task name
+	leaked map[Addr]bool   // allocations leaked by injected DropFree faults
+	inj    Injector
 }
 
 // New builds an SoCDMMU.
@@ -105,10 +129,12 @@ func New(cfg Config) (*Unit, error) {
 		return nil, err
 	}
 	u := &Unit{
-		cfg:   cfg,
-		owner: make([]int, cfg.Blocks()),
-		spans: map[Addr]int{},
-		PerPE: make([]int, cfg.PEs),
+		cfg:    cfg,
+		owner:  make([]int, cfg.Blocks()),
+		spans:  map[Addr]int{},
+		PerPE:  make([]int, cfg.PEs),
+		tags:   map[Addr]string{},
+		leaked: map[Addr]bool{},
 	}
 	for i := range u.owner {
 		u.owner[i] = -1
@@ -161,6 +187,7 @@ func (u *Unit) Alloc(c *rtos.TaskCtx, bytes int) (addr Addr, err error) {
 				u.PerPE[pe] += blocks
 				addr := Addr(first * u.cfg.BlockBytes)
 				u.spans[addr] = blocks
+				u.tags[addr] = c.Task().Name
 				u.stats.Allocs++
 				return addr, nil
 			}
@@ -181,10 +208,30 @@ func (u *Unit) Free(c *rtos.TaskCtx, addr Addr) (err error) {
 	}()
 	c.BusWrite(1)
 	c.ChargeCompute(execCycles)
+	if u.inj != nil && u.inj.DropFree(c.Task().Name, addr, c.Now()) {
+		// The command is lost in flight: the caller believes it freed the
+		// region, the allocation table never changes — a leak.
+		u.stats.DroppedFrees++
+		u.leaked[addr] = true
+		record(c, "alloc.free.drop", start, 0, addr, nil)
+		return nil
+	}
 	blocks, ok := u.spans[addr]
 	if !ok {
-		return fmt.Errorf("socdmmu: free of unallocated address %#x", addr)
+		u.stats.BadFrees++
+		block := int(addr) / u.cfg.BlockBytes
+		if block >= 0 && block < len(u.owner) && u.owner[block] != -1 {
+			return fmt.Errorf("%w: %#x is inside an allocation but not at its start", ErrBadFree, addr)
+		}
+		return fmt.Errorf("%w: %#x is not allocated", ErrBadFree, addr)
 	}
+	u.release(addr, blocks)
+	u.stats.Frees++
+	return nil
+}
+
+// release clears the allocation-table entries of the span starting at addr.
+func (u *Unit) release(addr Addr, blocks int) {
 	first := int(addr) / u.cfg.BlockBytes
 	pe := u.owner[first]
 	for b := first; b < first+blocks; b++ {
@@ -194,8 +241,48 @@ func (u *Unit) Free(c *rtos.TaskCtx, addr Addr) (err error) {
 		u.PerPE[pe] -= blocks
 	}
 	delete(u.spans, addr)
-	u.stats.Frees++
-	return nil
+	delete(u.tags, addr)
+	delete(u.leaked, addr)
+}
+
+// SetInjector attaches a fault injector to the unit (nil detaches).
+func (u *Unit) SetInjector(inj Injector) { u.inj = inj }
+
+// Tag returns the task that owns the live allocation at addr ("" if none).
+func (u *Unit) Tag(addr Addr) string { return u.tags[addr] }
+
+// Leaked reports whether the live allocation at addr was leaked by an
+// injected DropFree fault (the end-of-run leak check uses this to separate
+// planned leaks from recovery bugs).
+func (u *Unit) Leaked(addr Addr) bool { return u.leaked[addr] }
+
+// Live returns the start addresses of every live allocation, sorted.
+func (u *Unit) Live() []Addr {
+	out := make([]Addr, 0, len(u.spans))
+	for a := range u.spans {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReclaimOwnedBy force-frees every live allocation tagged with the given
+// task name — the recovery path for a killed task's memory.  It runs outside
+// any task context (no bus traffic is charged; the caller's recovery proc
+// accounts for its own time) and returns the reclaimed addresses, sorted.
+func (u *Unit) ReclaimOwnedBy(task string) []Addr {
+	var victims []Addr
+	for a, t := range u.tags {
+		if t == task {
+			victims = append(victims, a)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, a := range victims {
+		u.release(a, u.spans[a])
+		u.stats.Reclaims++
+	}
+	return victims
 }
 
 // Stats implements Allocator.
@@ -282,7 +369,13 @@ func (a *SoftwareAllocator) Free(c *rtos.TaskCtx, addr Addr) (err error) {
 	}()
 	size, ok := a.spans[addr]
 	if !ok {
-		return fmt.Errorf("socdmmu: free of unallocated address %#x", addr)
+		a.stats.BadFrees++
+		for s, sz := range a.spans {
+			if addr > s && addr < s+Addr(sz) {
+				return fmt.Errorf("%w: %#x is inside an allocation but not at its start", ErrBadFree, addr)
+			}
+		}
+		return fmt.Errorf("%w: %#x is not allocated", ErrBadFree, addr)
 	}
 	delete(a.spans, addr)
 	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].addr > addr })

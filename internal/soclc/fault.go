@@ -1,0 +1,158 @@
+package soclc
+
+// Fault-injection and recovery support: wait-for chains for victim
+// selection and forced reclaim of a killed task's locks.  Both lock
+// managers expose the same surface so the recovery policy is agnostic to
+// the RTOS5/RTOS6 configuration.
+
+import "deltartos/internal/rtos"
+
+func ownerName(l *lockState) string {
+	if l.owner == nil {
+		return "<free>"
+	}
+	return l.owner.Name
+}
+
+// SetInjector attaches a fault injector (nil detaches).
+func (sl *SoftwareLocks) SetInjector(inj Injector) { sl.inj = inj }
+
+// SetInjector attaches a fault injector (nil detaches).
+func (lc *LockCache) SetInjector(inj Injector) { lc.inj = inj }
+
+// Owner returns the task holding long lock id, or nil.
+func (sl *SoftwareLocks) Owner(id int) *rtos.Task { return sl.locks[id].owner }
+
+// Owner returns the task holding long lock id, or nil.
+func (lc *LockCache) Owner(id int) *rtos.Task { return lc.locks[id].owner }
+
+// holdings lists the long locks owned by t, in id order.
+func holdings(locks []*lockState, t *rtos.Task) []int {
+	var out []int
+	for id, l := range locks {
+		if l.owner == t {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Holdings lists the long locks owned by t, in id order.
+func (sl *SoftwareLocks) Holdings(t *rtos.Task) []int { return holdings(sl.locks, t) }
+
+// Holdings lists the long locks owned by t, in id order.
+func (lc *LockCache) Holdings(t *rtos.Task) []int { return holdings(lc.locks, t) }
+
+// purgeWaiter drops t from every waiter queue and request-time table.
+func purgeWaiter(locks []*lockState, t *rtos.Task) {
+	for _, l := range locks {
+		for i, w := range l.waiters {
+			if w == t {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				break
+			}
+		}
+		delete(l.reqTime, t)
+	}
+}
+
+// waitChain follows the wait-for chain from t: the lock t waits on has an
+// owner, who may itself wait on another lock, and so on.  The chain includes
+// t and stops at a task that is not waiting on any managed lock, or when the
+// chain closes into a cycle (deadlock).
+func waitChain(locks []*lockState, t *rtos.Task) []*rtos.Task {
+	chain := []*rtos.Task{t}
+	seen := map[*rtos.Task]bool{t: true}
+	cur := t
+	for {
+		var next *rtos.Task
+	scan:
+		for _, l := range locks {
+			for _, w := range l.waiters {
+				if w == cur {
+					next = l.owner
+					break scan
+				}
+			}
+		}
+		if next == nil || seen[next] {
+			return chain
+		}
+		chain = append(chain, next)
+		seen[next] = true
+		cur = next
+	}
+}
+
+// WaitChain returns the wait-for chain starting at t (victim selection).
+func (sl *SoftwareLocks) WaitChain(t *rtos.Task) []*rtos.Task { return waitChain(sl.locks, t) }
+
+// WaitChain returns the wait-for chain starting at t (victim selection).
+func (lc *LockCache) WaitChain(t *rtos.Task) []*rtos.Task { return waitChain(lc.locks, t) }
+
+// ReclaimOwnedBy force-releases every lock held by a killed task: long locks
+// hand off to their best waiter (or free), short locks clear, and the victim
+// is purged from all waiter queues.  Runs outside any task context (the
+// recovery proc charges its own time) and returns the reclaimed long and
+// short lock ids, in id order.
+func (sl *SoftwareLocks) ReclaimOwnedBy(t *rtos.Task) (longs, shorts []int) {
+	purgeWaiter(sl.locks, t)
+	for id, l := range sl.locks {
+		if l.owner != t {
+			continue
+		}
+		longs = append(longs, id)
+		if len(l.waiters) == 0 {
+			l.owner = nil
+			continue
+		}
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.owner = next
+		l.savedPrio = next.BasePrio
+		delete(l.reqTime, next)
+		sl.k.Unpark(next)
+	}
+	for id, o := range sl.shortOwner {
+		if o == t {
+			sl.shorts[id] = false
+			sl.shortOwner[id] = nil
+			shorts = append(shorts, id)
+		}
+	}
+	return longs, shorts
+}
+
+// ReclaimOwnedBy force-releases every lock held by a killed task (see the
+// SoftwareLocks variant).  Long-lock hand-off applies the IPCP ceiling and
+// raises the grant interrupt exactly as a normal release would.
+func (lc *LockCache) ReclaimOwnedBy(t *rtos.Task) (longs, shorts []int) {
+	purgeWaiter(lc.locks, t)
+	for id, l := range lc.locks {
+		if l.owner != t {
+			continue
+		}
+		longs = append(longs, id)
+		if len(l.waiters) == 0 {
+			l.owner = nil
+			continue
+		}
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.owner = next
+		l.savedPrio = next.BasePrio
+		if lc.ceilings[id] < next.BasePrio {
+			lc.k.SetTaskPriority(next, lc.ceilings[id])
+		}
+		delete(l.reqTime, next)
+		lc.k.Unpark(next)
+	}
+	for id, o := range lc.shortOwner {
+		if o == t {
+			lc.shorts[id] = false
+			lc.shortOwner[id] = nil
+			shorts = append(shorts, id)
+		}
+	}
+	return longs, shorts
+}

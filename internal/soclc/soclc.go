@@ -20,6 +20,7 @@
 package soclc
 
 import (
+	"errors"
 	"fmt"
 
 	"deltartos/internal/gates"
@@ -28,6 +29,26 @@ import (
 	"deltartos/internal/trace"
 	"deltartos/internal/verilog"
 )
+
+// Typed misuse errors, survivable under a kernel misuse policy
+// (rtos.Kernel.SetMisusePolicy); without one they remain panics.
+var (
+	// ErrNotOwner reports a long-lock release by a task that does not hold it.
+	ErrNotOwner = errors.New("soclc: release by non-owner")
+	// ErrShortFree reports a release of a short lock that is not held.
+	ErrShortFree = errors.New("soclc: release of free short lock")
+)
+
+// Injector is the fault hook a campaign attaches to a lock manager.
+// Implementations must be deterministic functions of their arguments and
+// their own seeded state.
+type Injector interface {
+	// DropRelease reports whether this long-lock release command is lost in
+	// flight: the caller continues as if it released, but the lock stays
+	// held (and, under IPCP, the priority stays boosted) — the classic
+	// lost-release fault the recovery path must untangle.
+	DropRelease(task string, id int, now sim.Cycles) bool
+}
 
 // record sends a lock event to the simulation's recorder, if attached.
 func record(c *rtos.TaskCtx, name string, start sim.Cycles, id int, verdict string) {
@@ -119,13 +140,16 @@ func insertByPrio(ws []*rtos.Task, t *rtos.Task) []*rtos.Task {
 // SoftwareLocks is the RTOS5 lock system: long locks with priority
 // inheritance implemented entirely in software over shared memory.
 type SoftwareLocks struct {
-	k      *rtos.Kernel
-	locks  []*lockState
-	shorts []bool
-	stats  Stats
+	k          *rtos.Kernel
+	locks      []*lockState
+	shorts     []bool
+	shortOwner []*rtos.Task // holder of each short lock (reclaim support)
+	stats      Stats
+	inj        Injector
 	// Instrumentation.
 	ShortAcquires   int
 	ShortSpinCycles sim.Cycles
+	DroppedReleases int
 }
 
 // NewSoftwareLocks creates n software long locks.
@@ -178,12 +202,24 @@ func (sl *SoftwareLocks) Release(c *rtos.TaskCtx, id int) {
 	l := sl.locks[id]
 	t := c.Task()
 	if l.owner != t {
-		panic(fmt.Sprintf("soclc: %s releasing lock %d owned by %v", t.Name, id, l.owner))
+		err := fmt.Errorf("%w: task %s, lock %d owned by %s", ErrNotOwner, t.Name, id, ownerName(l))
+		if !sl.k.Misuse(err) {
+			panic(err.Error())
+		}
+		record(c, "lock.release.misuse", c.Now(), id, "tolerated")
+		return
 	}
 	start := c.Now()
 	c.ChargeCompute(wrapperCPUCycles)
 	c.ChargeService(serviceWords)
 	c.ChargeSharedAccesses(swUnlockAccesses)
+	if sl.inj != nil && sl.inj.DropRelease(t.Name, id, c.Now()) {
+		// Lost release: the task ran the release path but the lock structure
+		// never updated — it still owns the lock and keeps any boost.
+		sl.DroppedReleases++
+		record(c, "lock.release.drop", start, id, "")
+		return
+	}
 	sl.k.SetTaskPriority(t, l.savedPrio)
 	if len(l.waiters) == 0 {
 		l.owner = nil
@@ -210,6 +246,7 @@ func (sl *SoftwareLocks) Stats() Stats { return sl.stats }
 // is a full memory read, the traffic the SoCLC was designed to remove.
 func (sl *SoftwareLocks) EnableShortLocks(n int) {
 	sl.shorts = make([]bool, n)
+	sl.shortOwner = make([]*rtos.Task, n)
 }
 
 // AcquireShort spins on the in-memory lock word until it is free, then
@@ -220,6 +257,7 @@ func (sl *SoftwareLocks) AcquireShort(c *rtos.TaskCtx, id int) {
 		c.BusRead(1) // probe the lock word in shared memory
 		if !sl.shorts[id] {
 			sl.shorts[id] = true
+			sl.shortOwner[id] = c.Task()
 			c.BusWrite(1) // claim (store-conditional)
 			sl.ShortAcquires++
 			sl.ShortSpinCycles += c.Now() - start
@@ -233,9 +271,15 @@ func (sl *SoftwareLocks) AcquireShort(c *rtos.TaskCtx, id int) {
 // ReleaseShort frees the in-memory lock word.
 func (sl *SoftwareLocks) ReleaseShort(c *rtos.TaskCtx, id int) {
 	if !sl.shorts[id] {
-		panic("soclc: releasing free short lock")
+		err := fmt.Errorf("%w: task %s, short lock %d", ErrShortFree, c.Task().Name, id)
+		if !sl.k.Misuse(err) {
+			panic(err.Error())
+		}
+		record(c, "lock.release.misuse", c.Now(), id, "tolerated")
+		return
 	}
 	sl.shorts[id] = false
+	sl.shortOwner[id] = nil
 	c.BusWrite(1)
 }
 
@@ -257,16 +301,19 @@ func (c Config) Validate() error {
 
 // LockCache is the RTOS6 lock system: the SoCLC hardware unit with IPCP.
 type LockCache struct {
-	k        *rtos.Kernel
-	cfg      Config
-	ceilings []int
-	locks    []*lockState
-	shorts   []bool // short (spin) lock states
-	stats    Stats
+	k          *rtos.Kernel
+	cfg        Config
+	ceilings   []int
+	locks      []*lockState
+	shorts     []bool       // short (spin) lock states
+	shortOwner []*rtos.Task // holder of each short lock (reclaim support)
+	stats      Stats
+	inj        Injector
 	// Instrumentation.
 	Interrupts      int
 	ShortAcquires   int
 	ShortSpinCycles sim.Cycles
+	DroppedReleases int
 }
 
 // NewLockCache creates a lock cache.  Ceilings default to 0 (highest);
@@ -276,11 +323,12 @@ func NewLockCache(k *rtos.Kernel, cfg Config) (*LockCache, error) {
 		return nil, err
 	}
 	lc := &LockCache{
-		k:        k,
-		cfg:      cfg,
-		ceilings: make([]int, cfg.LongLocks),
-		locks:    make([]*lockState, cfg.LongLocks),
-		shorts:   make([]bool, cfg.ShortLocks),
+		k:          k,
+		cfg:        cfg,
+		ceilings:   make([]int, cfg.LongLocks),
+		locks:      make([]*lockState, cfg.LongLocks),
+		shorts:     make([]bool, cfg.ShortLocks),
+		shortOwner: make([]*rtos.Task, cfg.ShortLocks),
 	}
 	for i := range lc.locks {
 		lc.locks[i] = newLockState()
@@ -329,13 +377,25 @@ func (lc *LockCache) Release(c *rtos.TaskCtx, id int) {
 	l := lc.locks[id]
 	t := c.Task()
 	if l.owner != t {
-		panic(fmt.Sprintf("soclc: %s releasing lock %d owned by %v", t.Name, id, l.owner))
+		err := fmt.Errorf("%w: task %s, lock %d owned by %s", ErrNotOwner, t.Name, id, ownerName(l))
+		if !lc.k.Misuse(err) {
+			panic(err.Error())
+		}
+		record(c, "lock.release.misuse", c.Now(), id, "tolerated")
+		return
 	}
 	start := c.Now()
 	c.ChargeCompute(wrapperCPUCycles)
 	c.ChargeService(serviceWords)
 	c.ChargeSharedAccesses(hwUnlockAccesses)
 	c.Kernel().S.Bus.TransactFast(c.Proc(), 1) // lock-cache release
+	if lc.inj != nil && lc.inj.DropRelease(t.Name, id, c.Now()) {
+		// Lost release: the command never reached the lock cache — the unit
+		// still shows the task as owner and the IPCP boost stays applied.
+		lc.DroppedReleases++
+		record(c, "lock.release.drop", start, id, "")
+		return
+	}
 	lc.k.SetTaskPriority(t, l.savedPrio)
 	if len(l.waiters) == 0 {
 		l.owner = nil
@@ -372,6 +432,7 @@ func (lc *LockCache) AcquireShort(c *rtos.TaskCtx, id int) {
 		c.Kernel().S.Bus.TransactFast(c.Proc(), 1) // test-and-set at the lock cache
 		if !lc.shorts[id] {
 			lc.shorts[id] = true
+			lc.shortOwner[id] = c.Task()
 			lc.ShortAcquires++
 			lc.ShortSpinCycles += c.Now() - start
 			record(c, "lock.acquire.short", start, id, "")
@@ -384,9 +445,15 @@ func (lc *LockCache) AcquireShort(c *rtos.TaskCtx, id int) {
 // ReleaseShort frees short lock id.
 func (lc *LockCache) ReleaseShort(c *rtos.TaskCtx, id int) {
 	if !lc.shorts[id] {
-		panic("soclc: releasing free short lock")
+		err := fmt.Errorf("%w: task %s, short lock %d", ErrShortFree, c.Task().Name, id)
+		if !lc.k.Misuse(err) {
+			panic(err.Error())
+		}
+		record(c, "lock.release.misuse", c.Now(), id, "tolerated")
+		return
 	}
 	lc.shorts[id] = false
+	lc.shortOwner[id] = nil
 	c.Kernel().S.Bus.TransactFast(c.Proc(), 1)
 }
 

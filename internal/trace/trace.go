@@ -43,6 +43,10 @@ const (
 	// KindDetect is a deadlock detection or avoidance invocation with its
 	// verdict.
 	KindDetect
+	// KindFault is an injected fault or a recovery action taken in response
+	// (fault campaigns): Name identifies the fault/action, Verdict carries
+	// the target task or outcome.
+	KindFault
 )
 
 // String names the kind (used as the Chrome trace category).
@@ -60,6 +64,8 @@ func (k Kind) String() string {
 		return "alloc"
 	case KindDetect:
 		return "detect"
+	case KindFault:
+		return "fault"
 	}
 	return "other"
 }
