@@ -1,16 +1,21 @@
 GO ?= go
 
-.PHONY: tier1 build test vet race bench chaos
+.PHONY: tier1 build test vet lint race bench chaos
 
-# tier1 is the merge gate: everything must build, vet clean, and pass the
-# test suite under the race detector.
-tier1: vet build race
+# tier1 is the merge gate: everything must build, vet and deltalint clean,
+# and pass the test suite under the race detector.
+tier1: vet lint build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the project's own static-analysis passes (lockorder, lockpair,
+# determinism, tracekind — see DESIGN.md §8 and `go run ./cmd/deltalint -help`).
+lint:
+	$(GO) run ./cmd/deltalint ./...
 
 test:
 	$(GO) test ./...

@@ -6,7 +6,6 @@ package deltartos
 // -bench=.` regenerates the paper's rows.
 
 import (
-	"math/rand"
 	"testing"
 
 	"deltartos/internal/app"
@@ -14,6 +13,7 @@ import (
 	"deltartos/internal/dau"
 	"deltartos/internal/ddu"
 	"deltartos/internal/delta"
+	"deltartos/internal/det"
 	"deltartos/internal/pdda"
 	"deltartos/internal/rag"
 	"deltartos/internal/sim"
@@ -247,7 +247,7 @@ func BenchmarkFig13DDUDetect(b *testing.B) {
 // ---- Prior-work baseline comparison (Section 3.3.2 complexity ladder) ----
 
 func BenchmarkDetectorBaselines(b *testing.B) {
-	rng := rand.New(rand.NewSource(11))
+	rng := det.New(11)
 	graphs := make([]*rag.Graph, 32)
 	for i := range graphs {
 		graphs[i] = rag.Random(rng, 10, 10, 0.7, 0.3)
@@ -282,7 +282,7 @@ func BenchmarkDetectorBaselines(b *testing.B) {
 // ---- Ablation: packed bit-plane reduction vs naive cell-by-cell ----
 
 func BenchmarkAblationPackedVsNaive(b *testing.B) {
-	g := rag.Random(rand.New(rand.NewSource(3)), 50, 50, 0.7, 0.3)
+	g := rag.Random(det.New(3), 50, 50, 0.7, 0.3)
 	b.Run("packed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			mx := g.Matrix()
@@ -367,7 +367,7 @@ func driveContention(b *testing.B, u *dau.Unit) {
 	for p := 0; p < 4; p++ {
 		u.SetPriority(p, daa.Priority(4-p)) // inverted priorities provoke give-ups
 	}
-	rng := rand.New(rand.NewSource(99))
+	rng := det.New(99)
 	for step := 0; step < 120; step++ {
 		p, q := rng.Intn(4), rng.Intn(4)
 		if u.Holder(q) == p {

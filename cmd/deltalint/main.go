@@ -1,0 +1,101 @@
+// Command deltalint is the project's static-analysis driver.  It runs the
+// four passes of internal/analysis/passes — lockorder, lockpair,
+// determinism and tracekind — over the module and prints go-vet-style
+// diagnostics:
+//
+//	file:line:col: [pass] message
+//
+// Usage:
+//
+//	go run ./cmd/deltalint ./...          # whole module (what `make lint` does)
+//	go run ./cmd/deltalint ./internal/app # one package
+//	go run ./cmd/deltalint -help          # pass documentation
+//
+// Exit status is 1 when any diagnostic is reported, 2 on load errors.
+// See DESIGN.md §8 for how these passes split deadlock detection between
+// compile time (this tool) and run time (the DDU/PDDA models).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deltartos/internal/analysis/framework"
+	"deltartos/internal/analysis/passes"
+)
+
+func main() {
+	help := flag.Bool("help", false, "print pass documentation and exit")
+	only := flag.String("only", "", "comma-separated subset of passes to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: deltalint [-only pass,pass] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := passes.All()
+	if *help {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var sel []*passes.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "deltalint: no passes match -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := framework.LoadModule(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+		os.Exit(2)
+	}
+	loadFailed := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "deltalint: %s: %v\n", pkg.PkgPath, terr)
+			loadFailed = true
+		}
+	}
+	if loadFailed {
+		os.Exit(2)
+	}
+
+	diags, err := framework.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "deltalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

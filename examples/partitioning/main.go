@@ -54,6 +54,7 @@ func runTape(s core.Strategy) {
 		if res.Deadlock {
 			sawDeadlock = true
 		}
+		//deltalint:partial Granted and Queued need no reaction from the driver
 		switch res.Outcome {
 		case core.Refused:
 			sawAvoidance = true

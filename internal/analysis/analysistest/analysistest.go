@@ -1,0 +1,119 @@
+// Package analysistest runs an analyzer over a testdata source tree and
+// checks its diagnostics against expectations written in the sources —
+// the same golden-comment convention as golang.org/x/tools'
+// go/analysis/analysistest:
+//
+//	rng.Intn(3) // want `must not import math/rand`
+//
+// Every line carrying a `// want "re" "re" ...` comment must receive one
+// diagnostic matching each regexp (in any order), every diagnostic must be
+// wanted, and the test fails with a per-line report otherwise.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"deltartos/internal/analysis/framework"
+)
+
+// Run loads the packages named by pkgpaths from dir (a testdata/src-style
+// tree: import paths are directories under dir) and applies the analyzer,
+// comparing diagnostics to // want comments.  It returns the analyzers'
+// result values keyed by package path, for tests that also assert on
+// results (the lockorder cross-check).
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgpaths ...string) map[string]any {
+	t.Helper()
+	pkgs, err := framework.Load(framework.Config{RootDir: dir}, pkgpaths...)
+	if err != nil {
+		t.Fatalf("load %v: %v", pkgpaths, err)
+	}
+	results := map[string]any{}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+		diags, res, err := framework.RunAnalyzer(pkg, a)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		results[pkg.PkgPath] = res
+		checkWants(t, pkg, diags)
+	}
+	return results
+}
+
+type want struct {
+	re  *regexp.Regexp
+	hit bool
+}
+
+// wantRE matches one quoted expectation: "..." or `...`.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func checkWants(t *testing.T, pkg *framework.Package, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*want{} // "file:line" -> expectations
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					expr := m[1]
+					if m[2] != "" {
+						expr = m[2]
+					} else {
+						expr = strings.ReplaceAll(expr, `\"`, `"`)
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", position(pkg.Fset, d.Pos), d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for key := range wants {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

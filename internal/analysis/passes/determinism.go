@@ -1,0 +1,241 @@
+package passes
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Determinism returns the determinism analyzer.  The simulator's contract
+// is byte-identical runs for identical seeds (DESIGN.md §8): all
+// randomness flows through explicitly-seeded internal/det RNGs, no wall
+// clock reaches simulation state, and map iteration order never leaks
+// into results.  The pass enforces that in every internal/ package:
+//
+//   - importing math/rand or math/rand/v2 is an error (use internal/det);
+//   - calling time.Now, time.Since or time.Until is an error (use
+//     simulated cycle counts);
+//   - ranging over a map is an error unless the body is order-insensitive
+//     (index writes, commutative integer accumulation, delete, constant
+//     flag sets), the collected values are sorted later in the same
+//     function, or the statement carries //deltalint:ordered <why>.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "enforce the byte-identical-runs contract in simulation packages\n\n" +
+			"Bans math/rand imports (use the seeded internal/det RNG), wall-clock\n" +
+			"reads (time.Now/Since/Until), and map ranges whose iteration order\n" +
+			"can reach simulation-visible state.  Order-independent map ranges\n" +
+			"(commutative bodies, or collect-then-sort) are allowed; others need\n" +
+			"a //deltalint:ordered <why> directive.",
+		Run: runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) (any, error) {
+	if !inSimulationScope(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		checkImports(pass, file)
+		checkFileDeterminism(pass, file)
+	}
+	return nil, nil
+}
+
+func checkImports(pass *Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"simulation code must not import %s: thread an explicitly seeded *det.RNG (internal/det) so runs are reproducible",
+				path)
+		}
+	}
+}
+
+func checkFileDeterminism(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			checkClockCall(pass, v)
+		case *ast.RangeStmt:
+			checkMapRange(pass, file, v)
+		}
+		return true
+	})
+}
+
+// checkClockCall flags wall-clock reads.
+func checkClockCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Now" && name != "Since" && name != "Until" {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "time" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"simulation code must not read the wall clock (time.%s): use simulated cycle counts so runs are reproducible",
+		name)
+}
+
+// checkMapRange flags order-sensitive map iteration.
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if directiveAt(pass.Fset, file, rng.Pos(), "deltalint:ordered") {
+		return
+	}
+	if commutativeBody(rng.Body) {
+		return
+	}
+	if sortedAfter(pass, file, rng) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is not deterministic and this range body is order-sensitive: iterate sorted keys, make the body commutative, or annotate //deltalint:ordered <why>")
+}
+
+// commutativeBody reports whether every statement in a range body is
+// insensitive to iteration order: index writes, commutative integer
+// accumulation, deletes, constant flag sets, and conditionals over those.
+func commutativeBody(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !commutativeStmt(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative accumulation (per-element += etc.).
+			return true
+		case token.ASSIGN, token.DEFINE:
+			// m2[k] = v rewrites are keyed per element; `found = true`
+			// style constant flag sets commute too.
+			for _, lhs := range s.Lhs {
+				if _, ok := lhs.(*ast.IndexExpr); ok {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+				if len(s.Rhs) == 1 {
+					if lit, ok := s.Rhs[0].(*ast.BasicLit); ok {
+						_ = lit
+						continue
+					}
+					if id, ok := s.Rhs[0].(*ast.Ident); ok && (id.Name == "true" || id.Name == "false") {
+						continue
+					}
+				}
+				return false
+			}
+			return true
+		}
+		return false
+	case *ast.IncDecStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE
+	case *ast.IfStmt:
+		if !commutativeBody(s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return commutativeBody(e)
+		case *ast.IfStmt:
+			return commutativeStmt(e)
+		}
+		return false
+	case *ast.BlockStmt:
+		return commutativeBody(s)
+	}
+	return false
+}
+
+// sortedAfter reports whether the enclosing function calls sort.* or
+// slices.Sort* after the range statement — the collect-then-sort idiom.
+func sortedAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt) bool {
+	var encl ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= rng.Pos() && rng.End() <= n.End() {
+				encl = n // keep innermost
+			}
+		}
+		return true
+	})
+	if encl == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+				p := pkg.Imported().Path()
+				if p == "sort" && sortingFunc(sel.Sel.Name) ||
+					p == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortingFunc reports whether a sort-package function actually sorts
+// (sort.Search and friends do not impose an order on collected data).
+func sortingFunc(name string) bool {
+	switch name {
+	case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+		return true
+	}
+	return false
+}

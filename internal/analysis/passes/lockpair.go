@@ -1,0 +1,33 @@
+package passes
+
+// LockPair returns the lockpair analyzer: it walks every task body and
+// function with the shared lock-flow walker and reports paths where an
+// acquired lock is not released, a release has no matching acquire, a lock
+// is re-acquired while held, or branches leave differing lock sets.
+func LockPair() *Analyzer {
+	return &Analyzer{
+		Name: "lockpair",
+		Doc: "check acquire/release pairing along every static path\n\n" +
+			"Each Acquire/AcquireShort/Request/Lock must be matched by the\n" +
+			"corresponding release on every path out of the task body, loop\n" +
+			"iteration, and conditional branch.  Scenarios that hold locks\n" +
+			"intentionally (deadlock experiments) are annotated\n" +
+			"//deltalint:deadlock-expected on the scenario function.",
+		Run: runLockPair,
+	}
+}
+
+func runLockPair(pass *Pass) (any, error) {
+	rep := walkLocks(pass)
+	for _, scope := range rep.scopes {
+		if scope.expected {
+			// Deadlock experiments end with tasks blocked while holding
+			// locks by design; pairing checks would only restate that.
+			continue
+		}
+		for _, f := range scope.pairs {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,785 @@
+package passes
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The lock-flow walker shared by the lockorder and lockpair passes.  It
+// recognizes the repository's lock surfaces by shape:
+//
+//	Acquire(c, id) / Release(c, id)            long locks   (soclc.Manager)
+//	AcquireShort(c, id) / ReleaseShort(c, id)  short locks  (spin / SoCLC)
+//	Request(c, p, q) / Release(c, p, q)        resources    (ResourceManager,
+//	                                            AvoidanceWorld)
+//	RequestBoth/RequestPair(c, p, qa, qb)      batch resource requests:
+//	                                            grant order is chosen by the
+//	                                            manager, so both acquisition
+//	                                            orders are assumed
+//	Lock(c) / Unlock(c)                        rtos.Mutex (identity = the
+//	                                            receiver variable or field)
+//
+// where c's static type is a pointer to a *Ctx-suffixed named type (the
+// rtos.TaskCtx convention), and lock/resource ids fold to compile-time
+// constants.  Ops with non-constant ids are skipped: the walker is a
+// may-analysis and never guesses identities.
+//
+// Scoping: tasks synchronize only with tasks of the same scenario, so the
+// lock-order graph is built per top-level function.  Function literals
+// passed to CreateTask/Spawn (or launched with `go`) are walked as fresh
+// task bodies inside the enclosing function's scope; literals bound to
+// local variables (the telemetry/withFrame helper idiom) are inlined at
+// their call sites; literals passed as plain call arguments are assumed
+// invoked at the call.
+
+// lockNode identifies one lock in the static graph.
+type lockNode struct {
+	key     string // canonical id, e.g. "long:0", "res:1", "mutex:mu"
+	display string // id plus the source spelling, e.g. "res:1(resIDCT)"
+}
+
+type lockOp struct {
+	acquire bool
+	batch   []lockNode // batch acquisition (both orders); nil for single
+	node    lockNode
+}
+
+// lockEdge is one ordered acquisition: to was acquired while from was held.
+type lockEdge struct {
+	from, to lockNode
+	pos      token.Pos
+	where    string // task or function holding the witness acquire
+}
+
+// lockReport is the walker's combined product for one package.
+type lockReport struct {
+	scopes []*lockScope
+}
+
+// lockScope is the lock graph plus pairing findings of one top-level
+// function and the task bodies it creates.
+type lockScope struct {
+	fn       string
+	expected bool // //deltalint:deadlock-expected
+	pos      token.Pos
+	edges    []lockEdge
+	edgeSet  map[string]bool
+	pairs    []pairFinding
+}
+
+// pairFinding is one lockpair diagnostic candidate.
+type pairFinding struct {
+	pos token.Pos
+	msg string
+}
+
+type lockWalker struct {
+	pass     *Pass
+	wrappers map[types.Object][]lockOp     // lock/unlock helper methods
+	locals   map[types.Object]*ast.FuncLit // var := func(...){...}
+}
+
+// walkLocks analyzes every top-level function of the package.
+func walkLocks(pass *Pass) *lockReport {
+	w := &lockWalker{
+		pass:     pass,
+		wrappers: map[types.Object][]lockOp{},
+		locals:   map[types.Object]*ast.FuncLit{},
+	}
+	w.collectLocals()
+	w.collectWrappers()
+	rep := &lockReport{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && !w.isWrapper(fd) {
+				rep.scopes = append(rep.scopes, w.walkScope(fd))
+			}
+		}
+	}
+	return rep
+}
+
+// collectLocals indexes `name := func(...) {...}` bindings package-wide.
+func (w *lockWalker) collectLocals() {
+	for _, file := range w.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range st.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(st.Lhs) {
+						continue
+					}
+					if id, ok := st.Lhs[i].(*ast.Ident); ok {
+						if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+							w.locals[obj] = lit
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range st.Values {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(st.Names) {
+						continue
+					}
+					if obj := w.pass.TypesInfo.Defs[st.Names[i]]; obj != nil {
+						w.locals[obj] = lit
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectWrappers registers helper functions whose whole body is a single
+// (possibly nil-guarded) lock operation, like ResourceManager.lock /
+// .unlock.  Calls to them count as the wrapped operation.
+func (w *lockWalker) collectWrappers() {
+	for _, file := range w.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || len(fd.Body.List) != 1 {
+				continue
+			}
+			st := fd.Body.List[0]
+			if ifst, ok := st.(*ast.IfStmt); ok && ifst.Else == nil && len(ifst.Body.List) == 1 {
+				st = ifst.Body.List[0]
+			}
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			ops := w.classify(call)
+			if len(ops) == 0 {
+				continue
+			}
+			if obj := w.pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				w.wrappers[obj] = ops
+			}
+		}
+	}
+}
+
+func (w *lockWalker) isWrapper(fd *ast.FuncDecl) bool {
+	obj := w.pass.TypesInfo.Defs[fd.Name]
+	_, ok := w.wrappers[obj]
+	return obj != nil && ok
+}
+
+// heldLock is one currently-held lock on the walked path.
+type heldLock struct {
+	node lockNode
+	pos  token.Pos
+}
+
+// walkState is the abstract state along one path.
+type walkState struct {
+	held       []heldLock
+	deferred   []lockOp // deferred release ops, applied at exits
+	terminated bool
+}
+
+func (s *walkState) clone() *walkState {
+	c := &walkState{terminated: s.terminated}
+	c.held = append([]heldLock(nil), s.held...)
+	c.deferred = append([]lockOp(nil), s.deferred...)
+	return c
+}
+
+func (s *walkState) holds(key string) int {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i].node.key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// scopeWalk carries the per-scope walking state.
+type scopeWalk struct {
+	w      *lockWalker
+	scope  *lockScope
+	active map[*ast.FuncLit]bool // inlining stack, recursion guard
+	seen   map[*ast.FuncLit]bool // literals walked anywhere in the scope
+	where  string                // current task/function label
+	depth  int
+}
+
+func (w *lockWalker) walkScope(fd *ast.FuncDecl) *lockScope {
+	scope := &lockScope{
+		fn:       fd.Name.Name,
+		expected: hasDirective(fd.Doc, "deltalint:deadlock-expected"),
+		pos:      fd.Pos(),
+		edgeSet:  map[string]bool{},
+	}
+	sw := &scopeWalk{
+		w:      w,
+		scope:  scope,
+		active: map[*ast.FuncLit]bool{},
+		seen:   map[*ast.FuncLit]bool{},
+		where:  fd.Name.Name,
+	}
+	sw.walkRoot(fd.Body, fd.Name.Name)
+	// Literals never reached by a call or task creation still describe
+	// code that can run: walk them as standalone roots.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if !sw.seen[lit] {
+				sw.walkTaskBody(lit, fd.Name.Name+" (closure)")
+			}
+			return false
+		}
+		return true
+	})
+	return scope
+}
+
+// walkRoot analyzes one body from an empty lock state and checks balance at
+// its exits.
+func (sw *scopeWalk) walkRoot(body *ast.BlockStmt, where string) {
+	prev := sw.where
+	sw.where = where
+	state := &walkState{}
+	sw.walkStmt(body, state)
+	if !state.terminated {
+		sw.checkExit(state, body.End())
+	}
+	sw.where = prev
+}
+
+func (sw *scopeWalk) walkTaskBody(lit *ast.FuncLit, where string) {
+	if sw.active[lit] {
+		return
+	}
+	sw.active[lit] = true
+	sw.seen[lit] = true
+	sw.walkRoot(lit.Body, where)
+	delete(sw.active, lit)
+}
+
+// checkExit reports locks still held when a path leaves the function.
+func (sw *scopeWalk) checkExit(state *walkState, end token.Pos) {
+	held := state.clone()
+	for _, op := range held.deferred {
+		if !op.acquire {
+			if i := held.holds(op.node.key); i >= 0 {
+				held.held = append(held.held[:i], held.held[i+1:]...)
+			}
+		}
+	}
+	for _, h := range held.held {
+		sw.scope.pairs = append(sw.scope.pairs, pairFinding{
+			pos: h.pos,
+			msg: fmt.Sprintf("%s: lock %s acquired here is not released on every path to the end of %s",
+				sw.where, h.node.display, sw.where),
+		})
+	}
+}
+
+func (sw *scopeWalk) walkStmts(list []ast.Stmt, state *walkState) {
+	for _, st := range list {
+		if state.terminated {
+			return
+		}
+		sw.walkStmt(st, state)
+	}
+}
+
+func (sw *scopeWalk) walkStmt(st ast.Stmt, state *walkState) {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		sw.walkStmts(s.List, state)
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.SendStmt, *ast.IncDecStmt:
+		sw.walkCalls(st, state)
+	case *ast.ReturnStmt:
+		sw.walkCalls(st, state)
+		sw.checkExit(state, s.Pos())
+		state.terminated = true
+	case *ast.DeferStmt:
+		ops := sw.resolveOps(s.Call, state)
+		if len(ops) > 0 {
+			state.deferred = append(state.deferred, ops...)
+		} else {
+			sw.walkCalls(st, state)
+		}
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			sw.walkTaskBody(lit, sw.where+" (goroutine)")
+		} else {
+			sw.walkCalls(st, state)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sw.walkStmt(s.Init, state)
+		}
+		sw.walkExprCalls(s.Cond, state)
+		thenState := state.clone()
+		sw.walkStmt(s.Body, thenState)
+		elseState := state.clone()
+		if s.Else != nil {
+			sw.walkStmt(s.Else, elseState)
+		}
+		sw.merge(state, s.Pos(), thenState, elseState)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sw.walkStmt(s.Init, state)
+		}
+		sw.walkExprCalls(s.Cond, state)
+		sw.loopBody(s.Body, s.Pos(), state)
+		if s.Post != nil {
+			sw.walkStmt(s.Post, state)
+		}
+	case *ast.RangeStmt:
+		sw.walkExprCalls(s.X, state)
+		sw.loopBody(s.Body, s.Pos(), state)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sw.walkStmt(s.Init, state)
+		}
+		sw.walkExprCalls(s.Tag, state)
+		sw.walkCases(s.Body, state, s.Pos())
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			sw.walkStmt(s.Init, state)
+		}
+		sw.walkCases(s.Body, state, s.Pos())
+	case *ast.SelectStmt:
+		sw.walkCases(s.Body, state, s.Pos())
+	case *ast.LabeledStmt:
+		sw.walkStmt(s.Stmt, state)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; holds are checked where
+		// the flow resumes (loop-end balance), so just stop merging.
+		state.terminated = true
+	}
+}
+
+// loopBody walks a loop body once and requires the held set at the end of
+// an iteration to match the one at its start.
+func (sw *scopeWalk) loopBody(body *ast.BlockStmt, pos token.Pos, state *walkState) {
+	entry := state.clone()
+	iter := state.clone()
+	sw.walkStmt(body, iter)
+	if !iter.terminated {
+		sw.checkLoopBalance(entry, iter, pos)
+	}
+	// Continue after the loop with the entry state: a balanced loop leaves
+	// it unchanged, and an unbalanced one was already reported.
+	state.held = entry.held
+	state.deferred = iter.deferred
+}
+
+func (sw *scopeWalk) checkLoopBalance(entry, iter *walkState, pos token.Pos) {
+	count := func(st *walkState) map[string]int {
+		m := map[string]int{}
+		for _, h := range st.held {
+			m[h.node.key]++
+		}
+		return m
+	}
+	before, after := count(entry), count(iter)
+	for _, h := range iter.held {
+		if after[h.node.key] > before[h.node.key] {
+			sw.scope.pairs = append(sw.scope.pairs, pairFinding{
+				pos: h.pos,
+				msg: fmt.Sprintf("%s: lock %s acquired in the loop body is not released by the end of the iteration",
+					sw.where, h.node.display),
+			})
+			after[h.node.key]--
+		}
+	}
+}
+
+// walkCases analyzes each clause of a switch/select body independently and
+// merges the resulting states.
+func (sw *scopeWalk) walkCases(body *ast.BlockStmt, state *walkState, pos token.Pos) {
+	var states []*walkState
+	hasDefault := false
+	for _, cl := range body.List {
+		c := state.clone()
+		switch clause := cl.(type) {
+		case *ast.CaseClause:
+			if clause.List == nil {
+				hasDefault = true
+			}
+			for _, e := range clause.List {
+				sw.walkExprCalls(e, state)
+			}
+			sw.walkStmts(clause.Body, c)
+		case *ast.CommClause:
+			if clause.Comm == nil {
+				hasDefault = true
+			} else {
+				sw.walkStmt(clause.Comm, c)
+			}
+			sw.walkStmts(clause.Body, c)
+		}
+		states = append(states, c)
+	}
+	if !hasDefault {
+		// The no-match path falls through with the entry state.
+		states = append(states, state.clone())
+	}
+	sw.merge(state, pos, states...)
+}
+
+// merge combines branch states: terminated branches drop out, and any lock
+// held on some surviving branches but not others is a pairing finding.
+func (sw *scopeWalk) merge(state *walkState, pos token.Pos, branches ...*walkState) {
+	var live []*walkState
+	for _, b := range branches {
+		if !b.terminated {
+			live = append(live, b)
+		}
+	}
+	if len(live) == 0 {
+		state.terminated = true
+		return
+	}
+	first := live[0]
+	var kept []heldLock
+	for _, h := range first.held {
+		onAll := true
+		for _, other := range live[1:] {
+			if other.holds(h.node.key) < 0 {
+				onAll = false
+				break
+			}
+		}
+		if onAll {
+			kept = append(kept, h)
+		} else {
+			sw.scope.pairs = append(sw.scope.pairs, pairFinding{
+				pos: h.pos,
+				msg: fmt.Sprintf("%s: lock %s is held on only some branches after the conditional",
+					sw.where, h.node.display),
+			})
+		}
+	}
+	// Locks held on later branches but absent from the first.
+	for _, other := range live[1:] {
+		for _, h := range other.held {
+			if first.holds(h.node.key) < 0 {
+				sw.scope.pairs = append(sw.scope.pairs, pairFinding{
+					pos: h.pos,
+					msg: fmt.Sprintf("%s: lock %s is held on only some branches after the conditional",
+						sw.where, h.node.display),
+				})
+			}
+		}
+	}
+	state.held = kept
+	state.deferred = live[0].deferred
+}
+
+// walkExprCalls processes calls inside a non-statement expression.
+func (sw *scopeWalk) walkExprCalls(e ast.Expr, state *walkState) {
+	if e == nil {
+		return
+	}
+	sw.walkCalls(&ast.ExprStmt{X: e}, state)
+}
+
+// walkCalls finds the calls in a statement (not descending into function
+// literals) and processes each.
+func (sw *scopeWalk) walkCalls(st ast.Stmt, state *walkState) {
+	var calls []*ast.CallExpr
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			calls = append(calls, v)
+		}
+		return true
+	})
+	for _, call := range calls {
+		sw.processCall(call, state)
+	}
+}
+
+// resolveOps returns the lock operations a call performs, looking through
+// wrapper helpers.
+func (sw *scopeWalk) resolveOps(call *ast.CallExpr, state *walkState) []lockOp {
+	if ops := sw.w.classify(call); len(ops) > 0 {
+		return ops
+	}
+	if obj := sw.w.calleeObject(call); obj != nil {
+		if ops, ok := sw.w.wrappers[obj]; ok {
+			return ops
+		}
+	}
+	return nil
+}
+
+func (sw *scopeWalk) processCall(call *ast.CallExpr, state *walkState) {
+	if ops := sw.resolveOps(call, state); len(ops) > 0 {
+		for _, op := range ops {
+			sw.apply(op, call, state)
+		}
+		return
+	}
+	name, obj := sw.w.callee(call)
+	// Task creation: function literal arguments become task bodies of this
+	// scope, walked from an empty lock state.
+	if name == "CreateTask" || name == "Spawn" {
+		label := sw.where
+		if len(call.Args) > 0 {
+			if tv, ok := sw.w.pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				label = "task " + constant.StringVal(tv.Value)
+			}
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				sw.walkTaskBody(lit, label)
+			}
+		}
+		return
+	}
+	// Calls to locally-bound function literals are inlined with the
+	// caller's lock state (the telemetry helper idiom).
+	if obj != nil {
+		if lit, ok := sw.w.locals[obj]; ok {
+			if !sw.active[lit] && sw.depth < 20 {
+				sw.active[lit] = true
+				sw.seen[lit] = true
+				sw.depth++
+				sw.walkStmt(lit.Body, state)
+				sw.depth--
+				delete(sw.active, lit)
+			}
+			return
+		}
+	}
+	// A literal passed as an argument is assumed to run at the call (the
+	// withFrame(c, func(){...}) idiom).
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			if !sw.active[lit] && sw.depth < 20 {
+				sw.active[lit] = true
+				sw.seen[lit] = true
+				sw.depth++
+				sw.walkStmt(lit.Body, state)
+				sw.depth--
+				delete(sw.active, lit)
+			}
+		}
+	}
+}
+
+// apply updates the path state with one lock operation and records
+// lock-order edges / pairing findings.
+func (sw *scopeWalk) apply(op lockOp, call *ast.CallExpr, state *walkState) {
+	pos := call.Pos()
+	if op.batch != nil {
+		// Batch request: edges from everything held to each member, plus
+		// both orders between the members (the manager picks the grant
+		// order at runtime).
+		for _, n := range op.batch {
+			for _, h := range state.held {
+				sw.addEdge(h.node, n, pos)
+			}
+		}
+		for i, a := range op.batch {
+			for j, b := range op.batch {
+				if i != j && a.key != b.key {
+					sw.addEdge(a, b, pos)
+				}
+			}
+		}
+		for _, n := range op.batch {
+			state.held = append(state.held, heldLock{node: n, pos: pos})
+		}
+		return
+	}
+	if op.acquire {
+		if state.holds(op.node.key) >= 0 {
+			sw.scope.pairs = append(sw.scope.pairs, pairFinding{
+				pos: pos,
+				msg: fmt.Sprintf("%s: lock %s is re-acquired while already held (self-deadlock / misuse)",
+					sw.where, op.node.display),
+			})
+			return
+		}
+		for _, h := range state.held {
+			sw.addEdge(h.node, op.node, pos)
+		}
+		state.held = append(state.held, heldLock{node: op.node, pos: pos})
+		return
+	}
+	if i := state.holds(op.node.key); i >= 0 {
+		state.held = append(state.held[:i], state.held[i+1:]...)
+		return
+	}
+	sw.scope.pairs = append(sw.scope.pairs, pairFinding{
+		pos: pos,
+		msg: fmt.Sprintf("%s: lock %s is released without a matching acquire on this path",
+			sw.where, op.node.display),
+	})
+}
+
+func (sw *scopeWalk) addEdge(from, to lockNode, pos token.Pos) {
+	if from.key == to.key {
+		return
+	}
+	key := from.key + "->" + to.key
+	if sw.scope.edgeSet[key] {
+		return
+	}
+	sw.scope.edgeSet[key] = true
+	sw.scope.edges = append(sw.scope.edges, lockEdge{from: from, to: to, pos: pos, where: sw.where})
+}
+
+// callee returns the called name and, when resolvable, its object.
+func (w *lockWalker) callee(call *ast.CallExpr) (string, types.Object) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name, w.pass.TypesInfo.Uses[fn]
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, w.pass.TypesInfo.Uses[fn.Sel]
+	}
+	return "", nil
+}
+
+func (w *lockWalker) calleeObject(call *ast.CallExpr) types.Object {
+	_, obj := w.callee(call)
+	return obj
+}
+
+// hasCtxArg reports whether the call's first argument is a *TaskCtx-style
+// context — the signature marker of the simulator's lock surfaces.
+func (w *lockWalker) hasCtxArg(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := w.pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ptr, ok := tv.Type.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && strings.HasSuffix(named.Obj().Name(), "Ctx")
+}
+
+// constID folds an argument to a constant int64 lock id.
+func (w *lockWalker) constID(e ast.Expr) (int64, string, bool) {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, "", false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return 0, "", false
+	}
+	name := ""
+	if id, ok := e.(*ast.Ident); ok {
+		name = id.Name
+	} else if sel, ok := e.(*ast.SelectorExpr); ok {
+		name = sel.Sel.Name
+	}
+	return v, name, true
+}
+
+func makeNode(space string, id int64, srcName string) lockNode {
+	key := fmt.Sprintf("%s:%d", space, id)
+	display := key
+	if srcName != "" {
+		display = fmt.Sprintf("%s(%s)", key, srcName)
+	}
+	return lockNode{key: key, display: display}
+}
+
+// classify maps a call expression to the lock operations it performs.
+func (w *lockWalker) classify(call *ast.CallExpr) []lockOp {
+	name, _ := w.callee(call)
+	if name == "" || !w.hasCtxArg(call) {
+		return nil
+	}
+	idNode := func(space string, arg ast.Expr) (lockNode, bool) {
+		id, src, ok := w.constID(arg)
+		if !ok {
+			return lockNode{}, false
+		}
+		return makeNode(space, id, src), true
+	}
+	switch {
+	case name == "Acquire" && len(call.Args) == 2:
+		if n, ok := idNode("long", call.Args[1]); ok {
+			return []lockOp{{acquire: true, node: n}}
+		}
+	case name == "AcquireShort" && len(call.Args) == 2:
+		if n, ok := idNode("short", call.Args[1]); ok {
+			return []lockOp{{acquire: true, node: n}}
+		}
+	case name == "Release" && len(call.Args) == 2:
+		if n, ok := idNode("long", call.Args[1]); ok {
+			return []lockOp{{node: n}}
+		}
+	case name == "ReleaseShort" && len(call.Args) == 2:
+		if n, ok := idNode("short", call.Args[1]); ok {
+			return []lockOp{{node: n}}
+		}
+	case name == "Request" && len(call.Args) == 3:
+		if n, ok := idNode("res", call.Args[2]); ok {
+			return []lockOp{{acquire: true, node: n}}
+		}
+	case name == "Release" && len(call.Args) == 3:
+		if n, ok := idNode("res", call.Args[2]); ok {
+			return []lockOp{{node: n}}
+		}
+	case (name == "RequestBoth" || name == "RequestPair") && len(call.Args) == 4:
+		a, okA := idNode("res", call.Args[2])
+		b, okB := idNode("res", call.Args[3])
+		if okA && okB {
+			return []lockOp{{acquire: true, batch: []lockNode{a, b}}}
+		}
+	case (name == "Lock" || name == "Unlock") && len(call.Args) == 1:
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		node, ok := w.mutexNode(sel.X)
+		if !ok {
+			return nil
+		}
+		return []lockOp{{acquire: name == "Lock", node: node}}
+	}
+	return nil
+}
+
+// mutexNode derives a lock identity for an rtos.Mutex receiver expression:
+// the variable or struct field holding the mutex.
+func (w *lockWalker) mutexNode(recv ast.Expr) (lockNode, bool) {
+	var obj types.Object
+	switch x := recv.(type) {
+	case *ast.Ident:
+		obj = w.pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := w.pass.TypesInfo.Selections[x]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = w.pass.TypesInfo.Uses[x.Sel]
+		}
+	}
+	if obj == nil {
+		return lockNode{}, false
+	}
+	key := "mutex:" + obj.Name()
+	if obj.Pkg() != nil {
+		key = fmt.Sprintf("mutex:%s.%s", obj.Pkg().Name(), obj.Name())
+	}
+	return lockNode{key: key, display: key}, true
+}

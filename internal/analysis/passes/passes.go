@@ -1,0 +1,94 @@
+// Package passes implements the four deltalint analyzers:
+//
+//   - lockorder: builds the static lock-order graph across the tasks of
+//     each scenario and reports potential deadlock cycles — the static
+//     mirror of the runtime PDDA/DDU (see DESIGN.md §8).
+//   - lockpair: flags paths through a task body where an acquired lock is
+//     not released, released without being held, or re-acquired.
+//   - determinism: enforces the byte-identical-runs contract in simulation
+//     code (no wall clock, no math/rand, no order-sensitive map ranges).
+//   - tracekind: requires switches over module enums (trace.Kind,
+//     fault.Kind, ...) to be exhaustive or carry a default clause.
+//
+// Findings can be acknowledged in source with comment directives:
+//
+//	//deltalint:deadlock-expected  on a scenario function whose lock graph
+//	                               intentionally contains a cycle (the
+//	                               detection/avoidance experiments)
+//	//deltalint:ordered <why>      on a map-range statement whose iteration
+//	                               order provably cannot leak into
+//	                               simulation-visible state
+//	//deltalint:partial <why>      on a switch that deliberately handles a
+//	                               subset of an enum
+package passes
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"deltartos/internal/analysis/framework"
+)
+
+// Analyzer and Pass alias the framework types so the pass sources read
+// exactly like golang.org/x/tools/go/analysis passes.
+type (
+	Analyzer = framework.Analyzer
+	Pass     = framework.Pass
+)
+
+// All returns the full deltalint analyzer set in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{LockOrder(), LockPair(), Determinism(), TraceKind()}
+}
+
+// hasDirective reports whether a comment group contains the given
+// //deltalint: directive.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveAt reports whether file has the directive on the same line as
+// pos or on the line directly above it (trailing or preceding comment).
+func directiveAt(fset *token.FileSet, file *ast.File, pos token.Pos, directive string) bool {
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text != directive && !strings.HasPrefix(text, directive+" ") {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inSimulationScope reports whether a package path is part of the
+// simulation tree held to the determinism contract.  The module prefix is
+// irrelevant: any internal/ package qualifies (testdata trees mimic this
+// with an internal/ directory).
+func inSimulationScope(pkgPath string) bool {
+	return strings.Contains(pkgPath, "internal/") || strings.HasPrefix(pkgPath, "internal")
+}
+
+// firstSegment returns the leading path element ("deltartos" for
+// "deltartos/internal/app").
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,60 @@
+package passes
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deltartos/internal/analysis/analysistest"
+)
+
+func testdata() string { return filepath.Join("testdata", "src") }
+
+func TestLockOrderGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), LockOrder(), "internal/lockorder")
+}
+
+func TestLockPairGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), LockPair(), "internal/lockpair")
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), Determinism(), "internal/determinism")
+}
+
+func TestTraceKindGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), TraceKind(), "internal/tracekind")
+}
+
+// The lockorder result must include cycles suppressed by
+// //deltalint:deadlock-expected — that is what the static-vs-runtime
+// cross-check (internal/app) consumes.
+func TestLockOrderResultKeepsExpectedCycles(t *testing.T) {
+	results := analysistest.Run(t, testdata(), LockOrder(), "internal/lockorder")
+	res, ok := results["internal/lockorder"].(*LockOrderResult)
+	if !ok {
+		t.Fatalf("lockorder result has type %T, want *LockOrderResult", results["internal/lockorder"])
+	}
+	byScope := map[string][]LockCycle{}
+	for _, c := range res.Cycles {
+		byScope[c.Scope] = append(byScope[c.Scope], c)
+	}
+	exp := byScope["ExpectedDeadlock"]
+	if len(exp) != 1 {
+		t.Fatalf("ExpectedDeadlock: got %d cycles, want 1: %+v", len(exp), exp)
+	}
+	if !exp[0].Expected {
+		t.Errorf("ExpectedDeadlock cycle not marked Expected")
+	}
+	if got := strings.Join(exp[0].Nodes, ","); got != "res:0,res:1" {
+		t.Errorf("ExpectedDeadlock cycle nodes = %s, want res:0,res:1", got)
+	}
+	if len(byScope["ConflictingOrder"]) != 1 {
+		t.Errorf("ConflictingOrder: got %d cycles, want 1", len(byScope["ConflictingOrder"]))
+	}
+	for _, scope := range []string{"ConsistentOrder", "SeparateScenarios", "SeparateScenariosReversed"} {
+		if n := len(byScope[scope]); n != 0 {
+			t.Errorf("%s: got %d cycles, want 0", scope, n)
+		}
+	}
+}

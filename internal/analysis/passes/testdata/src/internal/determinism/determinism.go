@@ -1,0 +1,107 @@
+// Package determinism is golden testdata for the determinism pass: banned
+// randomness and clock sources, plus map ranges in every flavour the pass
+// distinguishes.
+package determinism
+
+import (
+	"math/rand" // want `simulation code must not import math/rand`
+	"sort"
+	"time"
+)
+
+// UseRand keeps the banned import referenced.
+func UseRand() int {
+	return rand.Intn(3)
+}
+
+// Wallclock reads time.Now (true positive).
+func Wallclock() int64 {
+	return time.Now().Unix() // want `simulation code must not read the wall clock \(time.Now\)`
+}
+
+// Elapsed reads time.Since (true positive).
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `simulation code must not read the wall clock \(time.Since\)`
+}
+
+// OrderSensitive leaks iteration order into the returned slice (true
+// positive).
+func OrderSensitive(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order is not deterministic`
+		out = append(out, k)
+	}
+	return out
+}
+
+// OrderSensitiveEarlyReturn returns whichever key the runtime happens to
+// visit first (true positive).
+func OrderSensitiveEarlyReturn(m map[string]int) string {
+	for k, v := range m { // want `map iteration order is not deterministic`
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+// CollectThenSort collects and sorts before anything observes the order: no
+// report.
+func CollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commutative accumulates with +=, which commutes: no report.
+func Commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// CopyByKey writes each element under its own key: no report.
+func CopyByKey(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// FlagSet only latches a constant flag: no report.
+func FlagSet(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true
+		}
+	}
+	return found
+}
+
+// Annotated carries the directive with its justification: no report.
+func Annotated(m map[string]int) {
+	total := 0
+	//deltalint:ordered the sink is a debug println, never simulation state
+	for k, v := range m {
+		total += v
+		println(k, v)
+	}
+}
+
+// SliceRange iterates a slice, which is ordered: no report.
+func SliceRange(s []int) int {
+	max := 0
+	for _, v := range s {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

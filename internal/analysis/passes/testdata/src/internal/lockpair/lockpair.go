@@ -1,0 +1,150 @@
+// Package lockpair is golden testdata for the lockpair pass:
+// acquire/release pairing along paths, branches, loops and defers.
+package lockpair
+
+type TaskCtx struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type Manager struct{}
+
+func (m *Manager) Acquire(c *TaskCtx, id int) {}
+func (m *Manager) Release(c *TaskCtx, id int) {}
+
+type Mutex struct{}
+
+func (m *Mutex) Lock(c *TaskCtx)   {}
+func (m *Mutex) Unlock(c *TaskCtx) {}
+
+const (
+	lockA = 0
+	lockB = 1
+)
+
+func work() {}
+
+// MissingRelease never releases lockA (true positive).
+func MissingRelease(m *Manager, c *TaskCtx) {
+	m.Acquire(c, lockA) // want `lock long:0\(lockA\) acquired here is not released on every path`
+	work()
+}
+
+// ReleaseWithoutAcquire releases a lock it never took (true positive).
+// The work() call matters: a function whose whole body is one lock
+// statement is classified as a wrapper helper instead.
+func ReleaseWithoutAcquire(m *Manager, c *TaskCtx) {
+	work()
+	m.Release(c, lockA) // want `released without a matching acquire`
+}
+
+// DoubleAcquire re-acquires a held lock (true positive: self-deadlock).
+func DoubleAcquire(m *Manager, c *TaskCtx) {
+	m.Acquire(c, lockA)
+	m.Acquire(c, lockA) // want `re-acquired while already held`
+	m.Release(c, lockA)
+}
+
+// BranchImbalance holds lockA only on the then-branch (true positive).
+func BranchImbalance(m *Manager, c *TaskCtx, cond bool) {
+	if cond {
+		m.Acquire(c, lockA) // want `held on only some branches`
+	}
+	work()
+}
+
+// LoopImbalance accumulates a lock every iteration (true positive).
+func LoopImbalance(m *Manager, c *TaskCtx) {
+	for i := 0; i < 3; i++ {
+		m.Acquire(c, lockA) // want `acquired in the loop body is not released by the end of the iteration`
+	}
+}
+
+// TaskMissingRelease: pairing is checked inside task bodies too.
+func TaskMissingRelease(k *Kernel, m *Manager) {
+	k.CreateTask("worker", 0, 1, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockB) // want `lock long:1\(lockB\) acquired here is not released on every path`
+	})
+}
+
+// Balanced is the straight-line happy path: no report.
+func Balanced(m *Manager, c *TaskCtx) {
+	m.Acquire(c, lockA)
+	m.Acquire(c, lockB)
+	work()
+	m.Release(c, lockB)
+	m.Release(c, lockA)
+}
+
+// DeferRelease pairs via defer: no report.
+func DeferRelease(m *Manager, c *TaskCtx) {
+	m.Acquire(c, lockA)
+	defer m.Release(c, lockA)
+	work()
+}
+
+// ReleaseOnBothBranches releases on every path: no report.
+func ReleaseOnBothBranches(m *Manager, c *TaskCtx, cond bool) {
+	m.Acquire(c, lockA)
+	if cond {
+		m.Release(c, lockA)
+	} else {
+		m.Release(c, lockA)
+	}
+}
+
+// EarlyReturnBalanced releases before each return: no report.
+func EarlyReturnBalanced(m *Manager, c *TaskCtx, cond bool) {
+	m.Acquire(c, lockA)
+	if cond {
+		m.Release(c, lockA)
+		return
+	}
+	work()
+	m.Release(c, lockA)
+}
+
+// MutexBalanced pairs Lock/Unlock on an rtos-style mutex: no report.
+func MutexBalanced(mu *Mutex, c *TaskCtx) {
+	mu.Lock(c)
+	work()
+	mu.Unlock(c)
+}
+
+// Wrapped guards its mutex behind tiny helper methods, the
+// ResourceManager.lock/unlock idiom: calls to the helpers count as the
+// wrapped operation, so UsesWrappers is balanced and silent.
+type Wrapped struct {
+	mu   Mutex
+	real bool
+}
+
+func (w *Wrapped) lock(c *TaskCtx) {
+	if w.real {
+		w.mu.Lock(c)
+	}
+}
+
+func (w *Wrapped) unlock(c *TaskCtx) {
+	if w.real {
+		w.mu.Unlock(c)
+	}
+}
+
+func UsesWrappers(w *Wrapped, c *TaskCtx) {
+	w.lock(c)
+	work()
+	w.unlock(c)
+}
+
+// HelperClosure shows closure inlining: the literal bound to report runs
+// under the caller's lock state, so the pairing stays balanced and silent.
+func HelperClosure(m *Manager, c *TaskCtx) {
+	report := func() {
+		work()
+	}
+	m.Acquire(c, lockA)
+	report()
+	m.Release(c, lockA)
+}

@@ -1,0 +1,85 @@
+// Package tracekind is golden testdata for the tracekind pass: dense
+// module enums must be switched exhaustively, while sentinels, sparse flag
+// types and annotated subsets stay quiet.
+package tracekind
+
+// Kind is a dense 0..n-1 enum with a count sentinel, mirroring trace.Kind.
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	numKinds
+)
+
+// Flags is sparse (no dense 0..n-1 range): not an enum to this pass.
+type Flags int
+
+const (
+	F1 Flags = 1 << iota
+	F2
+	F4
+)
+
+// Partial misses KindC (true positive).  The sentinel numKinds is never
+// required.
+func Partial(k Kind) int {
+	switch k { // want `switch over Kind is not exhaustive: missing KindC`
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+// WithDefault is exhaustive by default clause: no report.
+func WithDefault(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Exhaustive lists every non-sentinel constant: no report.
+func Exhaustive(k Kind) int {
+	switch k {
+	case KindA, KindB:
+		return 1
+	case KindC:
+		return 2
+	}
+	return 0
+}
+
+// Annotated declares the subset intentional: no report.
+func Annotated(k Kind) int {
+	//deltalint:partial only KindA matters to this helper
+	switch k {
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// FlagSwitch switches over a sparse flag type: not an enum, no report.
+func FlagSwitch(f Flags) bool {
+	switch f {
+	case F1:
+		return true
+	}
+	return false
+}
+
+// NonConstantCase mixes a variable case in: the pass cannot prove
+// anything, so it stays silent.
+func NonConstantCase(k, other Kind) bool {
+	switch k {
+	case other:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+package passes
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// TraceKind returns the tracekind analyzer: switches over the module's
+// dense enums (trace.Kind, fault.Kind, rag.Cell, ...) must either cover
+// every constant or carry a default clause, so adding an enum value cannot
+// silently fall through.  Deliberately partial switches are annotated
+// //deltalint:partial <why>.
+func TraceKind() *Analyzer {
+	return &Analyzer{
+		Name: "tracekind",
+		Doc: "require exhaustive switches over module enums\n\n" +
+			"An enum is a named integer type from a module-internal package whose\n" +
+			"package-level constants form a dense 0..n-1 range.  A switch on such\n" +
+			"a type must list every constant or have a default clause; intentional\n" +
+			"subsets take //deltalint:partial <why> on the switch line.",
+		Run: runTraceKind,
+	}
+}
+
+func runTraceKind(pass *Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkSwitch(pass, file, sw)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *Pass, file *ast.File, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	consts := enumConstants(pass, named)
+	if consts == nil {
+		return
+	}
+	covered := map[int64]bool{}
+	for _, cl := range sw.Body.List {
+		clause, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: always exhaustive
+		}
+		for _, e := range clause.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok || etv.Value == nil {
+				// Non-constant case expression: assume it may cover
+				// anything rather than guess.
+				return
+			}
+			if v, ok := constant.Int64Val(etv.Value); ok {
+				covered[v] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.val] && !sentinelName(c.name) {
+			missing = append(missing, c.name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if directiveAt(pass.Fset, file, sw.Pos(), "deltalint:partial") {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s is not exhaustive: missing %s (add the cases, a default clause, or //deltalint:partial <why>)",
+		typeLabel(pass, named), strings.Join(missing, ", "))
+}
+
+// sentinelName matches count/limit sentinels (numKinds, KindCount, maxFoo)
+// that close a dense enum but are not meant to be switched on.
+func sentinelName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "num") || strings.HasPrefix(lower, "max") ||
+		strings.HasSuffix(lower, "count")
+}
+
+type enumConst struct {
+	name string
+	val  int64
+}
+
+// enumConstants returns the constants of named if it qualifies as a module
+// enum: defined in a package sharing the pass's leading path segment, with
+// an integer underlying type and >=2 package-level constants whose values
+// form a dense 0..n-1 range.  The density requirement excludes quantity
+// types (sim.Cycles), bit-flag sets and sentinel-bearing types
+// (fault.AnyLock = -1).
+func enumConstants(pass *Pass, named *types.Named) []enumConst {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if firstSegment(obj.Pkg().Path()) != firstSegment(pass.PkgPath) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var consts []enumConst
+	vals := map[int64]bool{}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v, ok := constant.Int64Val(c.Val())
+		if !ok {
+			return nil
+		}
+		consts = append(consts, enumConst{name: name, val: v})
+		vals[v] = true
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	// Dense 0..n-1 over the distinct values.
+	if len(vals) < 2 {
+		return nil
+	}
+	// len(vals) distinct values all falling in 0..len-1 is exactly the
+	// dense range.
+	for i := int64(0); i < int64(len(vals)); i++ {
+		if !vals[i] {
+			return nil
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].val < consts[j].val })
+	return consts
+}
+
+func typeLabel(pass *Pass, named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() != pass.PkgPath {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}

@@ -373,6 +373,8 @@ type AvoidanceResult struct {
 // RunGrantDeadlockScenario executes Application Example I (Table 6 /
 // Figure 16): the sequence that would end in grant deadlock, completed
 // safely by the avoider.  Returns the Table 7 measurements.
+//
+//deltalint:deadlock-expected the scenario exists to exercise G-dl avoidance
 func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult {
 	b := mkBackend()
 	w := NewAvoidanceWorld(b)
@@ -429,6 +431,8 @@ func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult
 // RunRequestDeadlockScenario executes Application Example II (Table 8 /
 // Figure 17): the sequence that would end in request deadlock.  Returns the
 // Table 9 measurements.
+//
+//deltalint:deadlock-expected the scenario exists to exercise R-dl avoidance
 func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult {
 	b := mkBackend()
 	w := NewAvoidanceWorld(b)

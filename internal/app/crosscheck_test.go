@@ -114,9 +114,9 @@ func TestKernelAndDDUAgreeOnNoDeadlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u.SetGrant(0, 0)    // pA holds m0
-	u.SetRequest(0, 1)  // pB waits
-	u.SetRequest(0, 2)  // pC waits
+	u.SetGrant(0, 0)   // pA holds m0
+	u.SetRequest(0, 1) // pB waits
+	u.SetRequest(0, 2) // pC waits
 	if res := u.Detect(); res.Deadlock {
 		t.Error("DDU reports deadlock for a cycle-free chain")
 	}

@@ -13,6 +13,10 @@ type DetectionResult struct {
 	AvgDetectCycles float64    // "Algorithm Run Time"
 	AppCycles       sim.Cycles // "Application Run Time" (start to deadlock detected)
 	DeadlockFound   bool
+	// DeadlockedProcs and DeadlockedResources are the irreducible core of
+	// the RAG at the moment of detection (nil when nothing deadlocked).
+	DeadlockedProcs     []int
+	DeadlockedResources []int
 }
 
 // Scenario timing.  Table 4 fixes the event ORDER; absolute times are our
@@ -51,6 +55,8 @@ const (
 // paper's 10.  The application cannot finish: the run ends when the event
 // queue drains with p2 and p3 deadlocked, and AppCycles is the time the
 // deadlock was detected.
+//
+//deltalint:deadlock-expected the scenario exists to exercise the DDU/PDDA
 func RunDetectionScenario(mkDet func() Detector) DetectionResult {
 	s := sim.New()
 	k := rtos.NewKernel(s, 4)
@@ -102,9 +108,11 @@ func RunDetectionScenario(mkDet func() Detector) DetectionResult {
 	s.Run()
 
 	res := DetectionResult{
-		Mechanism:     det.Name(),
-		DeadlockFound: rm.DeadlockSeen,
-		AppCycles:     rm.DeadlockAt,
+		Mechanism:           det.Name(),
+		DeadlockFound:       rm.DeadlockSeen,
+		AppCycles:           rm.DeadlockAt,
+		DeadlockedProcs:     rm.DeadlockedProcs,
+		DeadlockedResources: rm.DeadlockedResources,
 	}
 	switch d := det.(type) {
 	case *SoftwareDetector:

@@ -151,6 +151,13 @@ type ResourceManager struct {
 	// never); DeadlockSeen reports whether it fired.
 	DeadlockAt   sim.Cycles
 	DeadlockSeen bool
+	// DeadlockedProcs and DeadlockedResources latch the irreducible core of
+	// the RAG at the first positive detection: the processes the reduction
+	// cannot clear and every resource they hold or wait for.  Both ascending;
+	// nil when no deadlock was seen.  The static lockorder cross-check
+	// compares these against the compile-time cycle report.
+	DeadlockedProcs     []int
+	DeadlockedResources []int
 	// Events counts allocation events (requests, grants, releases).
 	Events int
 }
@@ -215,6 +222,22 @@ func (rm *ResourceManager) detect(c *rtos.TaskCtx) bool {
 	if dead && !rm.DeadlockSeen {
 		rm.DeadlockSeen = true
 		rm.DeadlockAt = c.Now()
+		rm.DeadlockedProcs = rm.g.DeadlockedProcesses()
+		m, _ := rm.g.Size()
+		inCore := make([]bool, m)
+		for _, p := range rm.DeadlockedProcs {
+			for _, s := range rm.g.HeldBy(p) {
+				inCore[s] = true
+			}
+			for _, s := range rm.g.RequestedBy(p) {
+				inCore[s] = true
+			}
+		}
+		for s, in := range inCore {
+			if in {
+				rm.DeadlockedResources = append(rm.DeadlockedResources, s)
+			}
+		}
 	}
 	return dead
 }

@@ -3,12 +3,13 @@ package app
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 	"deltartos/internal/socdmmu"
+
+	"deltartos/internal/det"
 )
 
 // SplashResult is one row of Table 11 (software allocator) or Table 12
@@ -135,7 +136,7 @@ func RunLU(mkAlloc func() socdmmu.Allocator) SplashResult {
 		// Allocate the matrix row by row plus a per-phase pivot scratch.
 		rows := make([][]float64, luN)
 		rowAddrs := make([]socdmmu.Addr, luN)
-		rng := rand.New(rand.NewSource(42))
+		rng := det.New(42)
 		for i := range rows {
 			rowAddrs[i] = h.get(luN * 8)
 			rows[i] = make([]float64, luN)
@@ -225,7 +226,7 @@ func RunFFT(mkAlloc func() socdmmu.Allocator) SplashResult {
 		}
 		re := make([]float64, fftN)
 		im := make([]float64, fftN)
-		rng := rand.New(rand.NewSource(7))
+		rng := det.New(7)
 		for i := range re {
 			re[i] = rng.Float64()*2 - 1
 			im[i] = rng.Float64()*2 - 1
@@ -332,7 +333,7 @@ func RunRadix(mkAlloc func() socdmmu.Allocator) SplashResult {
 			h.get(chunkKeys * 4)
 		}
 		keys := make([]int, radixN)
-		rng := rand.New(rand.NewSource(99))
+		rng := det.New(99)
 		for i := range keys {
 			keys[i] = rng.Intn(1 << 31)
 		}

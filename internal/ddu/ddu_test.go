@@ -1,10 +1,10 @@
 package ddu
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 
+	"deltartos/internal/det"
 	"deltartos/internal/pdda"
 	"deltartos/internal/rag"
 	"deltartos/internal/verilog"
@@ -103,7 +103,7 @@ func TestLoadIsACopy(t *testing.T) {
 
 // The DDU must agree with software PDDA and with the cycle oracle.
 func TestDDUMatchesPDDAAndOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(31))
+	rng := det.New(31)
 	for i := 0; i < 400; i++ {
 		m := 1 + rng.Intn(8)
 		n := 1 + rng.Intn(8)
@@ -126,7 +126,7 @@ func TestDDUMatchesPDDAAndOracle(t *testing.T) {
 
 // Hardware iteration count must equal the software reduction step count.
 func TestIterationAgreement(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := det.New(8)
 	for i := 0; i < 200; i++ {
 		g := rag.Random(rng, 1+rng.Intn(8), 1+rng.Intn(8), 0.8, 0.35)
 		m, n := g.Size()
@@ -290,4 +290,4 @@ func TestNetlistHasSequentialState(t *testing.T) {
 }
 
 // randSource is shared by the VCD dump test.
-func randSource() *rand.Rand { return rand.New(rand.NewSource(55)) }
+func randSource() *det.RNG { return det.New(55) }

@@ -1,9 +1,9 @@
 package ddu
 
 import (
-	"math/rand"
 	"testing"
 
+	"deltartos/internal/det"
 	"deltartos/internal/rag"
 )
 
@@ -75,7 +75,7 @@ func TestStuckCellMasksDeadlock(t *testing.T) {
 }
 
 func TestCrossCheckHealthyUnitNeverMismatches(t *testing.T) {
-	rng := rand.New(rand.NewSource(31415))
+	rng := det.New(31415)
 	for i := 0; i < 200; i++ {
 		g := rag.Random(rng, 1+rng.Intn(6), 1+rng.Intn(6), 0.7, 0.3)
 		m, n := g.Size()
@@ -96,7 +96,7 @@ func TestCrossCheckHealthyUnitNeverMismatches(t *testing.T) {
 // faults, every verdict CHANGE is caught by the cross-check (no silent
 // corruption), and verdict-preserving faults never raise false alarms.
 func TestFaultCampaignCrossCheckCatchesAllFlips(t *testing.T) {
-	rng := rand.New(rand.NewSource(909))
+	rng := det.New(909)
 	flips := 0
 	for i := 0; i < 300; i++ {
 		g := rag.Random(rng, 2+rng.Intn(4), 2+rng.Intn(4), 0.7, 0.35)

@@ -63,6 +63,7 @@ func (m *RTLModel) Load(mx *rag.Matrix) error {
 	}
 	for s := 0; s < mx.M; s++ {
 		for t := 0; t < mx.N; t++ {
+			//deltalint:partial None leaves both request and grant bits clear
 			switch mx.Get(s, t) {
 			case rag.Request:
 				m.reqBit[s][t] = true

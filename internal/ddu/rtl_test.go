@@ -1,9 +1,9 @@
 package ddu
 
 import (
-	"math/rand"
 	"testing"
 
+	"deltartos/internal/det"
 	"deltartos/internal/rag"
 )
 
@@ -64,7 +64,7 @@ func TestRTLChainReduces(t *testing.T) {
 // decision, iteration count and step count, for random states and the same
 // embedding behaviour.
 func TestRTLEquivalence(t *testing.T) {
-	rng := rand.New(rand.NewSource(1234))
+	rng := det.New(1234)
 	for i := 0; i < 500; i++ {
 		mSize := 1 + rng.Intn(8)
 		nSize := 1 + rng.Intn(8)

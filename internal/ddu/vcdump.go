@@ -45,6 +45,7 @@ func DumpDetectionVCD(cfg Config, mx *rag.Matrix, w io.Writer) (Result, error) {
 		for s := 0; s < cfg.Resources; s++ {
 			var rq, gr uint64
 			for c := 0; c < cfg.Procs && c < 64; c++ {
+				//deltalint:partial None contributes no bit to either vector
 				switch m.Cell(s, c) {
 				case rag.Request:
 					rq |= 1 << uint(c)

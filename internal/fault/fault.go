@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 
+	"deltartos/internal/det"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 	"deltartos/internal/socdmmu"
@@ -121,20 +122,6 @@ func (p *Plan) Add(f Fault) *Plan {
 // Len returns the number of scheduled faults.
 func (p *Plan) Len() int { return len(p.faults) }
 
-// splitmix64 is the PRNG behind Randomize: tiny, seedable and stable across
-// platforms (no dependence on math/rand's sequence guarantees).
-type splitmix64 struct{ s uint64 }
-
-func (r *splitmix64) next() uint64 {
-	r.s += 0x9e3779b97f4a7c15
-	z := r.s
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-func (r *splitmix64) intn(n int) int { return int(r.next() % uint64(n)) }
-
 // Profile describes the scenario surface Randomize draws targets from.
 type Profile struct {
 	Tasks   []string   // task names faults may target
@@ -148,23 +135,23 @@ func (p *Plan) Randomize(n int, kinds []Kind, prof Profile) *Plan {
 	if n <= 0 || len(kinds) == 0 || len(prof.Tasks) == 0 || prof.Horizon == 0 {
 		return p
 	}
-	rng := splitmix64{s: p.Seed}
+	rng := det.New(p.Seed)
 	for i := 0; i < n; i++ {
-		k := kinds[rng.intn(len(kinds))]
+		k := kinds[rng.Intn(len(kinds))]
 		if k == SpuriousIRQ && len(prof.Devices) == 0 {
 			k = BusStall // degrade gracefully on device-less scenarios
 		}
-		f := Fault{Kind: k, Lock: AnyLock, At: sim.Cycles(rng.next()) % prof.Horizon}
+		f := Fault{Kind: k, Lock: AnyLock, At: sim.Cycles(rng.Uint64()) % prof.Horizon}
 		switch k {
 		case LostRelease, TaskCrash, TaskHang, LeakedBlock:
-			f.Task = prof.Tasks[rng.intn(len(prof.Tasks))]
+			f.Task = prof.Tasks[rng.Intn(len(prof.Tasks))]
 		case ComputeOverrun:
-			f.Task = prof.Tasks[rng.intn(len(prof.Tasks))]
-			f.Extra = 500 + sim.Cycles(rng.intn(4500))
+			f.Task = prof.Tasks[rng.Intn(len(prof.Tasks))]
+			f.Extra = 500 + sim.Cycles(rng.Intn(4500))
 		case SpuriousIRQ:
-			f.Device = prof.Devices[rng.intn(len(prof.Devices))]
+			f.Device = prof.Devices[rng.Intn(len(prof.Devices))]
 		case BusStall:
-			f.Extra = 50 + sim.Cycles(rng.intn(950))
+			f.Extra = 50 + sim.Cycles(rng.Intn(950))
 		}
 		p.faults = append(p.faults, &f)
 	}
@@ -193,6 +180,7 @@ func (p *Plan) Attach(k *rtos.Kernel, locks LockSystem, mem *socdmmu.Unit, devs 
 	}
 	for i, f := range p.faults {
 		f := f
+		//deltalint:partial only bus/IRQ faults spawn processes; the rest fire through injector hooks
 		switch f.Kind {
 		case BusStall:
 			k.S.Spawn(fmt.Sprintf("fault.stall.%d", i), -1, func(pr *sim.Proc) {

@@ -151,6 +151,7 @@ func (r *Recovery) selectVictim(suspect *rtos.Task) *rtos.Task {
 	}
 	victim := suspect
 	for _, t := range chain {
+		//deltalint:partial dead tasks are skipped; every live state is a victim candidate
 		switch t.State() {
 		case rtos.StateDone, rtos.StateKilled:
 			continue

@@ -1,9 +1,9 @@
 package pdda
 
 import (
-	"math/rand"
 	"testing"
 
+	"deltartos/internal/det"
 	"deltartos/internal/rag"
 )
 
@@ -39,7 +39,7 @@ func TestLeibfriedSimpleCases(t *testing.T) {
 
 // All four baselines must agree with the DFS oracle on random graphs.
 func TestBaselinesMatchOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(2024))
+	rng := det.New(2024)
 	for i := 0; i < 300; i++ {
 		g := rag.Random(rng, 1+rng.Intn(7), 1+rng.Intn(7), 0.7, 0.3)
 		want := g.HasCycle()
@@ -56,7 +56,7 @@ func TestBaselinesMatchOracle(t *testing.T) {
 }
 
 func TestBaselinesAgreeWithPDDA(t *testing.T) {
-	rng := rand.New(rand.NewSource(77))
+	rng := det.New(77)
 	for i := 0; i < 200; i++ {
 		g := rag.Random(rng, 2+rng.Intn(6), 2+rng.Intn(6), 0.8, 0.35)
 		p, _ := DetectGraph(g)
@@ -99,7 +99,7 @@ func TestKimKohIncremental(t *testing.T) {
 }
 
 func TestKimKohMatchesOracleOnTraces(t *testing.T) {
-	rng := rand.New(rand.NewSource(404))
+	rng := det.New(404)
 	for trial := 0; trial < 100; trial++ {
 		m, n := 2+rng.Intn(5), 2+rng.Intn(5)
 		kk := NewKimKoh(m, n)

@@ -1,10 +1,10 @@
 package pdda
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"deltartos/internal/det"
 	"deltartos/internal/rag"
 )
 
@@ -128,7 +128,7 @@ func TestDetectDoesNotMutateInput(t *testing.T) {
 // PDDA must agree with the DFS cycle oracle on random graphs (the paper's
 // correctness theorem: deadlock iff cycle).
 func TestPDDAMatchesOracleRandom(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
+	rng := det.New(99)
 	for i := 0; i < 500; i++ {
 		m := 1 + rng.Intn(9)
 		n := 1 + rng.Intn(9)
@@ -144,7 +144,7 @@ func TestPDDAMatchesOracleRandom(t *testing.T) {
 // On every irreducible matrix, the connect-node decision (Equations 6-7) must
 // equal the emptiness test of Algorithm 2.
 func TestConnectDecisionEquivalence(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := det.New(5)
 	for i := 0; i < 300; i++ {
 		g := rag.Random(rng, 1+rng.Intn(7), 1+rng.Intn(7), 0.7, 0.35)
 		mx := g.Matrix()
@@ -175,7 +175,7 @@ func TestWorstCaseBound(t *testing.T) {
 // at least one row or column, and empty lines are never terminal again), and
 // stays within a small constant of the paper's 2*min(m,n) hardware bound.
 func TestReductionBoundProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(123))
+	rng := det.New(123)
 	for i := 0; i < 500; i++ {
 		m := 1 + rng.Intn(12)
 		n := 1 + rng.Intn(12)
@@ -202,7 +202,7 @@ func min(a, b int) int {
 // Property: each reduction step strictly decreases the edge count, so the
 // sequence terminates (Definition 13(iii): all intermediate states unique).
 func TestReductionMonotoneProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(321))
+	rng := det.New(321)
 	for i := 0; i < 200; i++ {
 		g := rag.Random(rng, 1+rng.Intn(8), 1+rng.Intn(8), 0.7, 0.3)
 		mx := g.Matrix()
@@ -248,7 +248,7 @@ func TestStatsAdd(t *testing.T) {
 // quick.Check harness for PDDA == oracle on generated edge lists.
 func TestPDDAQuickProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := det.New(uint64(seed))
 		g := rag.Random(rng, 1+rng.Intn(10), 1+rng.Intn(10), 0.75, 0.3)
 		got, _ := DetectGraph(g)
 		return got == g.HasCycle()

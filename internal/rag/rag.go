@@ -19,8 +19,9 @@ package rag
 import (
 	"fmt"
 	"math/bits"
-	"math/rand"
 	"strings"
+
+	"deltartos/internal/det"
 )
 
 // Cell is the ternary content of one matrix entry.
@@ -91,6 +92,7 @@ func (mx *Matrix) Set(s, t int, c Cell) {
 	w, b := t/64, uint(t%64)
 	mx.req[s][w] &^= 1 << b
 	mx.grant[s][w] &^= 1 << b
+	//deltalint:partial None leaves both bitplanes clear (cleared just above)
 	switch c {
 	case Request:
 		mx.req[s][w] |= 1 << b
@@ -412,6 +414,7 @@ func FromMatrix(mx *Matrix) (*Graph, error) {
 	g := NewGraph(mx.M, mx.N)
 	for s := 0; s < mx.M; s++ {
 		for t := 0; t < mx.N; t++ {
+			//deltalint:partial None adds no edge
 			switch mx.Get(s, t) {
 			case Request:
 				g.AddRequest(s, t)
@@ -571,7 +574,7 @@ func (g *Graph) DeadlockedProcesses() []int {
 // Random returns a random RAG drawn edge-by-edge: each resource is granted to
 // a uniformly random process with probability pGrant, and each (s,t) pair
 // gains a request edge with probability pReq (skipping the holder).
-func Random(rng *rand.Rand, m, n int, pGrant, pReq float64) *Graph {
+func Random(rng *det.RNG, m, n int, pGrant, pReq float64) *Graph {
 	g := NewGraph(m, n)
 	for s := 0; s < m; s++ {
 		if rng.Float64() < pGrant {

@@ -1,10 +1,11 @@
 package rag
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"deltartos/internal/det"
 )
 
 func TestCellString(t *testing.T) {
@@ -241,7 +242,7 @@ func mustNoErr(t *testing.T, err error) {
 }
 
 func TestGraphMatrixRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := det.New(7)
 	for i := 0; i < 50; i++ {
 		g := Random(rng, 1+rng.Intn(8), 1+rng.Intn(8), 0.6, 0.3)
 		mx := g.Matrix()
@@ -302,7 +303,7 @@ func TestCycleGraphPanics(t *testing.T) {
 }
 
 func TestDeadlockedProcessesMatchesOracle(t *testing.T) {
-	rng := rand.New(rand.NewSource(42))
+	rng := det.New(42)
 	for i := 0; i < 300; i++ {
 		g := Random(rng, 1+rng.Intn(6), 1+rng.Intn(6), 0.7, 0.25)
 		dead := g.DeadlockedProcesses()
@@ -352,7 +353,7 @@ func TestGraphClone(t *testing.T) {
 }
 
 func TestRandomRespectsInvariant(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := det.New(1)
 	for i := 0; i < 100; i++ {
 		g := Random(rng, 5, 5, 0.9, 0.5)
 		if err := g.Matrix().Validate(); err != nil {

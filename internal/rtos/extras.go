@@ -43,6 +43,7 @@ func (k *Kernel) aliveForSlicing(pe int) bool {
 		if t.PE != pe {
 			continue
 		}
+		//deltalint:partial set-membership test; the other states cannot become runnable by themselves
 		switch t.state {
 		case StateRunning, StateReady, StateSleeping, StateDormant:
 			return true

@@ -339,6 +339,7 @@ func (k *Kernel) setPriority(t *Task, prio int) {
 		return
 	}
 	t.CurPrio = prio
+	//deltalint:partial only queued or running tasks re-rank now; others are ranked on wakeup
 	switch t.state {
 	case StateReady:
 		k.readyRemove(t)
@@ -422,6 +423,7 @@ type waitPurger interface {
 // recovery reclaims them explicitly.  Reports whether the task was alive.
 // Must not be called from the victim's own task context.
 func (k *Kernel) Kill(t *Task) bool {
+	//deltalint:partial guard clause; every live state falls through to the kill path
 	switch t.state {
 	case StateDone, StateKilled:
 		return false
@@ -432,6 +434,7 @@ func (k *Kernel) Kill(t *Task) bool {
 	for _, o := range k.syncObjs {
 		o.purgeTask(t)
 	}
+	//deltalint:partial dormant and ready tasks unwind when next dispatched
 	switch t.state {
 	case StateBlocked, StateSleeping, StateSuspended:
 		k.makeReady(t) // wake it so the unwind can run

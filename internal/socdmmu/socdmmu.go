@@ -370,10 +370,16 @@ func (a *SoftwareAllocator) Free(c *rtos.TaskCtx, addr Addr) (err error) {
 	size, ok := a.spans[addr]
 	if !ok {
 		a.stats.BadFrees++
+		// Allocations are disjoint, so at most one span can contain addr;
+		// the flag makes the scan independent of map iteration order.
+		inside := false
 		for s, sz := range a.spans {
 			if addr > s && addr < s+Addr(sz) {
-				return fmt.Errorf("%w: %#x is inside an allocation but not at its start", ErrBadFree, addr)
+				inside = true
 			}
+		}
+		if inside {
+			return fmt.Errorf("%w: %#x is inside an allocation but not at its start", ErrBadFree, addr)
 		}
 		return fmt.Errorf("%w: %#x is not allocated", ErrBadFree, addr)
 	}
@@ -422,8 +428,15 @@ func (a *SoftwareAllocator) CheckInvariants() error {
 			}
 		}
 	}
-	// Allocated spans must not overlap free spans.
-	for addr, size := range a.spans {
+	// Allocated spans must not overlap free spans.  The scan runs over
+	// sorted addresses so a corrupt heap always yields the same error.
+	addrs := make([]Addr, 0, len(a.spans))
+	for addr := range a.spans {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		size := a.spans[addr]
 		for _, s := range a.free {
 			if addr < s.addr+Addr(s.size) && s.addr < addr+Addr(size) {
 				return fmt.Errorf("allocation %#x overlaps free span %#x", addr, s.addr)
