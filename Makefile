@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet lint race bench chaos
+.PHONY: tier1 build test vet lint lint-json race bench chaos
 
 # tier1 is the merge gate: everything must build, vet and deltalint clean,
 # and pass the test suite under the race detector.
@@ -13,9 +13,15 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own static-analysis passes (lockorder, lockpair,
-# determinism, tracekind — see DESIGN.md §8 and `go run ./cmd/deltalint -help`).
+# claims, ceiling, memlife, determinism, tracekind — see DESIGN.md §8–§9 and
+# `go run ./cmd/deltalint -help`).
 lint:
 	$(GO) run ./cmd/deltalint ./...
+
+# lint-json is the CI artifact flavor: machine-readable findings plus the
+# inferred resource-claims manifest.
+lint-json:
+	$(GO) run ./cmd/deltalint -json -claims claims-manifest.json ./... > deltalint.json
 
 test:
 	$(GO) test ./...

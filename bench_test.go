@@ -8,6 +8,8 @@ package deltartos
 import (
 	"testing"
 
+	"deltartos/internal/analysis/framework"
+	"deltartos/internal/analysis/passes"
 	"deltartos/internal/app"
 	"deltartos/internal/daa"
 	"deltartos/internal/dau"
@@ -470,5 +472,27 @@ func swBackend(b *testing.B) func() app.AvoidanceBackend {
 			b.Fatal(err)
 		}
 		return be
+	}
+}
+
+// ---- Deltalint: full-module static analysis ----
+
+// BenchmarkDeltalint runs every analysis pass over the whole module, the
+// same work `make lint` does.  The load is measured too (it dominates a cold
+// run), so one iteration is one end-to-end lint; the CI budget for the whole
+// thing is well under 30s.
+func BenchmarkDeltalint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pkgs, err := framework.LoadModule(".", "./...")
+		if err != nil {
+			b.Fatal(err)
+		}
+		diags, err := framework.Run(pkgs, passes.All())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(diags) != 0 {
+			b.Fatalf("lint tree not clean: %d finding(s), first: %s", len(diags), diags[0].Message)
+		}
 	}
 }

@@ -1,36 +1,53 @@
 // Command deltalint is the project's static-analysis driver.  It runs the
-// four passes of internal/analysis/passes — lockorder, lockpair,
-// determinism and tracekind — over the module and prints go-vet-style
-// diagnostics:
+// passes of internal/analysis/passes — lockorder, lockpair, claims, ceiling,
+// memlife, determinism and tracekind — over the module and prints
+// go-vet-style diagnostics:
 //
 //	file:line:col: [pass] message
 //
 // Usage:
 //
-//	go run ./cmd/deltalint ./...          # whole module (what `make lint` does)
-//	go run ./cmd/deltalint ./internal/app # one package
-//	go run ./cmd/deltalint -help          # pass documentation
+//	go run ./cmd/deltalint ./...           # whole module (what `make lint` does)
+//	go run ./cmd/deltalint ./internal/app  # one package
+//	go run ./cmd/deltalint -json ./...     # machine-readable findings (CI artifact)
+//	go run ./cmd/deltalint -claims claims.json ./...  # write the inferred claims manifest
+//	go run ./cmd/deltalint -help           # pass documentation
 //
 // Exit status is 1 when any diagnostic is reported, 2 on load errors.
-// See DESIGN.md §8 for how these passes split deadlock detection between
-// compile time (this tool) and run time (the DDU/PDDA models).
+// See DESIGN.md §8–§9 for how these passes split deadlock analysis between
+// compile time (this tool) and run time (the DDU/PDDA/DAU models).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"deltartos/internal/analysis/framework"
 	"deltartos/internal/analysis/passes"
+	"deltartos/internal/claims"
 )
+
+// finding is the JSON shape of one diagnostic.  The list is sorted by
+// (file, line, col, pass, message) so output is stable across runs.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
 
 func main() {
 	help := flag.Bool("help", false, "print pass documentation and exit")
 	only := flag.String("only", "", "comma-separated subset of passes to run")
+	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
+	claimsOut := flag.String("claims", "", "write the inferred resource-claims manifest to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: deltalint [-only pass,pass] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: deltalint [-only pass,pass] [-json] [-claims file] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -85,17 +102,78 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags, err := framework.Run(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
-		os.Exit(2)
+	// Drive each analyzer ourselves (rather than framework.Run) so the
+	// claims pass's manifest results can be merged across packages.
+	var findings []finding
+	manifest := &claims.Manifest{Module: "deltartos"}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, res, err := framework.RunAnalyzer(pkg, a)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, finding{
+					File:    pos.Filename,
+					Line:    pos.Line,
+					Col:     pos.Column,
+					Pass:    d.Analyzer,
+					Message: d.Message,
+				})
+			}
+			if m, ok := res.(*claims.Manifest); ok && m != nil {
+				manifest.Scenarios = append(manifest.Scenarios, m.Scenarios...)
+			}
+		}
 	}
-	for _, d := range diags {
-		pos := pkgs[0].Fset.Position(d.Pos)
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+
+	if *claimsOut != "" {
+		data, err := manifest.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: encode claims manifest: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*claimsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+			os.Exit(2)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "deltalint: %d finding(s)\n", len(diags))
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{} // encode as [] rather than null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Pass, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "deltalint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,391 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file adds control-flow-graph construction to the framework: the
+// syntactic statement list of a function body is lowered into basic blocks
+// connected by explicit edges, so analyses can reason about paths (branches,
+// loops, breaks, gotos, defers) instead of re-implementing Go's control flow
+// statement by statement.  The shape mirrors golang.org/x/tools/go/cfg at
+// the API level but carries two extras the deltalint passes need: block
+// kinds (join points and loop heads are distinguished, so a dataflow
+// analysis can apply different merge rules at each) and edge conditions
+// (the branch expression and its polarity ride on the edge, enabling
+// condition-aware refinement such as "on this edge, err != nil held").
+
+// BlockKind classifies a basic block for the benefit of merge rules.
+type BlockKind int
+
+// Block kinds.
+const (
+	// BlockPlain is ordinary straight-line code.
+	BlockPlain BlockKind = iota
+	// BlockJoin is the merge point of an if/switch/select.
+	BlockJoin
+	// BlockLoopHead is a loop entry: it receives the loop's back edge.
+	BlockLoopHead
+	// BlockLoopExit collects the exits of a loop (condition-false, breaks).
+	BlockLoopExit
+	// BlockEntry is the function entry block.
+	BlockEntry
+	// BlockExit is the single synthetic function exit.  Every return
+	// statement and the fall-off end of the body flow here.
+	BlockExit
+)
+
+// Block is one basic block: a maximal run of statements with a single entry
+// and exit.  Nodes holds the statements and bare expressions (branch
+// conditions, switch tags, case expressions) in evaluation order.
+type Block struct {
+	Index int
+	Kind  BlockKind
+	// Stmt is the originating syntax for structured blocks: the loop
+	// statement for a BlockLoopHead/BlockLoopExit, the branching statement
+	// for a BlockJoin.  Nil for plain blocks.
+	Stmt  ast.Node
+	Nodes []ast.Node
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// Edge is one control transfer between blocks.
+type Edge struct {
+	From, To *Block
+	// Cond is the branch condition governing this edge, when there is one
+	// (the if/for condition).  Negate reports that the edge is taken when
+	// Cond is false.
+	Cond   ast.Expr
+	Negate bool
+	// Back marks a loop back edge (or a backward goto).
+	Back bool
+	// Fall marks the implicit fall-off-the-end edge into the exit block, as
+	// opposed to an explicit return statement's edge.
+	Fall bool
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// BuildCFG lowers a function body into a control-flow graph.  The graph is
+// deterministic: block indices and edge order follow source order.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		g:      &CFG{},
+		labels: map[string]*labelInfo{},
+	}
+	b.g.Entry = b.newBlock(BlockEntry, nil)
+	b.g.Exit = b.newBlock(BlockExit, nil)
+	b.cur = b.g.Entry
+	b.stmt(body)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit, &Edge{Fall: true})
+	}
+	return b.g
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *Block
+}
+
+type labelInfo struct {
+	block   *Block
+	started bool // statements have been lowered into it (goto backward)
+}
+
+type cfgBuilder struct {
+	g     *CFG
+	cur   *Block // nil after a terminating statement (return/branch)
+	loops []loopFrame
+	// pendingLabel is set between a labeled statement and the loop or
+	// switch it labels, so break/continue with that label resolve.
+	pendingLabel string
+	labels       map[string]*labelInfo
+}
+
+func (b *cfgBuilder) newBlock(kind BlockKind, stmt ast.Node) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind, Stmt: stmt}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, e *Edge) {
+	if from == nil || to == nil {
+		return
+	}
+	e.From, e.To = from, to
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// add appends a node to the current block, opening a fresh (unreachable)
+// block if control cannot reach this point.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock(BlockPlain, nil)
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the pending statement label, if any.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(st ast.Stmt) {
+	switch s := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner)
+		}
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.SendStmt,
+		*ast.IncDecStmt, *ast.DeferStmt, *ast.GoStmt, *ast.EmptyStmt:
+		b.add(st)
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.edge(b.cur, b.g.Exit, &Edge{})
+		b.cur = nil
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.takeLabel() // labeled switch: break-to-label == plain break; close enough
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.cases(s, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(s, s.Body, true)
+	case *ast.SelectStmt:
+		b.takeLabel()
+		// A select with no default blocks until a case is ready: there is no
+		// implicit fall-through edge.
+		b.cases(s, s.Body, false)
+	case *ast.LabeledStmt:
+		info := b.label(s.Label.Name)
+		b.edge(b.cur, info.block, &Edge{})
+		b.cur = info.block
+		info.started = true
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	default:
+		// Unknown statement kinds flow through unmodified.
+		b.add(st)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	join := b.newBlock(BlockJoin, s)
+
+	thenBlk := b.newBlock(BlockPlain, nil)
+	b.edge(head, thenBlk, &Edge{Cond: s.Cond})
+	b.cur = thenBlk
+	b.stmt(s.Body)
+	b.edge(b.cur, join, &Edge{})
+
+	if s.Else != nil {
+		elseBlk := b.newBlock(BlockPlain, nil)
+		b.edge(head, elseBlk, &Edge{Cond: s.Cond, Negate: true})
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		b.edge(b.cur, join, &Edge{})
+	} else {
+		b.edge(head, join, &Edge{Cond: s.Cond, Negate: true})
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock(BlockLoopHead, s)
+	exit := b.newBlock(BlockLoopExit, s)
+	b.edge(b.cur, head, &Edge{})
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+		b.edge(head, exit, &Edge{Cond: s.Cond, Negate: true})
+	}
+	// The post statement is the continue target when present.
+	cont := head
+	var post *Block
+	if s.Post != nil {
+		post = b.newBlock(BlockPlain, nil)
+		cont = post
+	}
+	b.loops = append(b.loops, loopFrame{label: label, brk: exit, cont: cont})
+	body := b.newBlock(BlockPlain, nil)
+	b.edge(head, body, &Edge{Cond: s.Cond})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, cont, &Edge{})
+	if post != nil {
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head, &Edge{Back: true})
+	} else if cont == head {
+		// Body fell through straight to the head: that edge is the back edge.
+		if n := len(head.Preds); n > 0 {
+			head.Preds[n-1].Back = true
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	b.add(s.X)
+	head := b.newBlock(BlockLoopHead, s)
+	exit := b.newBlock(BlockLoopExit, s)
+	b.edge(b.cur, head, &Edge{})
+	b.edge(head, exit, &Edge{})
+	b.loops = append(b.loops, loopFrame{label: label, brk: exit, cont: head})
+	body := b.newBlock(BlockPlain, nil)
+	b.edge(head, body, &Edge{})
+	b.cur = body
+	b.stmt(s.Body)
+	if b.cur != nil {
+		b.edge(b.cur, head, &Edge{Back: true})
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+// cases lowers a switch/type-switch/select body.  fallsThrough adds the
+// no-matching-case edge from the head to the join (switches only).
+func (b *cfgBuilder) cases(stmt ast.Node, body *ast.BlockStmt, fallsThrough bool) {
+	head := b.cur
+	join := b.newBlock(BlockJoin, stmt)
+	hasDefault := false
+
+	// Create every clause block first so fallthrough can target the next.
+	var clauseBlocks []*Block
+	for range body.List {
+		clauseBlocks = append(clauseBlocks, b.newBlock(BlockPlain, nil))
+	}
+	for i, cl := range body.List {
+		blk := clauseBlocks[i]
+		b.edge(head, blk, &Edge{})
+		b.cur = blk
+		var next *Block
+		if i+1 < len(clauseBlocks) {
+			next = clauseBlocks[i+1]
+		}
+		switch clause := cl.(type) {
+		case *ast.CaseClause:
+			if clause.List == nil {
+				hasDefault = true
+			}
+			for _, e := range clause.List {
+				b.add(e)
+			}
+			b.clauseBody(clause.Body, next)
+		case *ast.CommClause:
+			if clause.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(clause.Comm)
+			}
+			b.clauseBody(clause.Body, next)
+		}
+		b.edge(b.cur, join, &Edge{})
+	}
+	if fallsThrough && !hasDefault {
+		b.edge(head, join, &Edge{})
+	}
+	b.cur = join
+}
+
+// clauseBody lowers one case clause's statements, resolving a trailing
+// fallthrough to the next clause block.
+func (b *cfgBuilder) clauseBody(stmts []ast.Stmt, next *Block) {
+	for _, st := range stmts {
+		if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			b.edge(b.cur, next, &Edge{})
+			b.cur = nil
+			return
+		}
+		b.stmt(st)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findLoop(s.Label); f != nil {
+			b.edge(b.cur, f.brk, &Edge{})
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if f := b.findLoop(s.Label); f != nil {
+			back := f.cont.Kind == BlockLoopHead
+			b.edge(b.cur, f.cont, &Edge{Back: back})
+		}
+		b.cur = nil
+	case token.GOTO:
+		if s.Label != nil {
+			info := b.label(s.Label.Name)
+			b.edge(b.cur, info.block, &Edge{Back: info.started})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled by clauseBody; a stray one terminates the path.
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) findLoop(label *ast.Ident) *loopFrame {
+	if len(b.loops) == 0 {
+		return nil
+	}
+	if label == nil {
+		return &b.loops[len(b.loops)-1]
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		if b.loops[i].label == label.Name {
+			return &b.loops[i]
+		}
+	}
+	return &b.loops[len(b.loops)-1]
+}
+
+func (b *cfgBuilder) label(name string) *labelInfo {
+	if info, ok := b.labels[name]; ok {
+		return info
+	}
+	info := &labelInfo{block: b.newBlock(BlockPlain, nil)}
+	b.labels[name] = info
+	return info
+}

@@ -1,0 +1,163 @@
+package framework
+
+// Generic worklist dataflow solver over a CFG.  Facts are opaque (any); a
+// FlowProblem supplies the boundary fact, the per-block transfer function,
+// the merge rule and fact equality.  The solver iterates blocks in reverse
+// post-order (post-order for backward problems) until a fixpoint, which
+// keeps both the iteration count low and — more importantly here — the
+// visit order deterministic, so diagnostics emitted from inside Join or
+// Transfer come out in a stable order.
+//
+// A nil fact means "unreachable": blocks that never receive a fact are
+// skipped, and their diagnostics are never produced (code after an
+// unconditional return is not analyzed, matching the runtime).
+
+// Direction orients a dataflow analysis.
+type Direction int
+
+// Analysis directions.
+const (
+	// Forward propagates facts from Entry along Succs edges.
+	Forward Direction = iota
+	// Backward propagates facts from Exit along Preds edges.
+	Backward
+)
+
+// EdgeFact pairs an in-edge with the fact that flows across it.
+type EdgeFact struct {
+	Edge *Edge
+	Fact any
+}
+
+// FlowProblem defines one dataflow analysis.
+type FlowProblem interface {
+	// Direction orients the analysis.
+	Direction() Direction
+	// Boundary is the fact entering the start block (Entry for forward,
+	// Exit for backward).
+	Boundary() any
+	// Transfer computes the fact leaving block b given the fact entering
+	// it.  It must not mutate in; return a new fact.
+	Transfer(b *Block, in any) any
+	// Join merges the facts arriving over b's in-edges (only reachable
+	// edges are included; len(in) >= 1).  Problems use b.Kind to apply
+	// different rules at joins, loop heads and the exit.
+	Join(b *Block, in []EdgeFact) any
+	// Equal reports whether two facts are equal (fixpoint test).
+	Equal(a, b any) bool
+}
+
+// EdgeRefiner is an optional FlowProblem extension: FlowThrough refines the
+// fact crossing an edge using the edge's branch condition (e.Cond/e.Negate).
+// Returning nil kills the path (the edge is treated as unreachable).
+type EdgeRefiner interface {
+	FlowThrough(e *Edge, fact any) any
+}
+
+// maxSweeps caps fixpoint iteration; lock/lifetime facts stabilize in two
+// or three sweeps, so hitting the cap means a mis-behaving transfer — the
+// solver stops with the facts computed so far rather than spinning.
+const maxSweeps = 64
+
+// Solve runs p over g to a fixpoint and returns the fact at each block's
+// entry (for forward problems) or exit (for backward problems).  Blocks
+// never reached hold no entry in the map.
+func Solve(g *CFG, p FlowProblem) map[*Block]any {
+	fwd := p.Direction() == Forward
+	start := g.Entry
+	if !fwd {
+		start = g.Exit
+	}
+	order := iterationOrder(g, start, fwd)
+	refiner, _ := p.(EdgeRefiner)
+
+	in := make(map[*Block]any, len(order))
+	out := make(map[*Block]any, len(order))
+
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for _, b := range order {
+			var inFact any
+			if b == start {
+				inFact = p.Boundary()
+			} else {
+				var facts []EdgeFact
+				for _, e := range inEdges(b, fwd) {
+					f, ok := out[edgeSource(e, fwd)]
+					if !ok || f == nil {
+						continue
+					}
+					if refiner != nil {
+						if f = refiner.FlowThrough(e, f); f == nil {
+							continue
+						}
+					}
+					facts = append(facts, EdgeFact{Edge: e, Fact: f})
+				}
+				if len(facts) == 0 {
+					continue // unreachable so far
+				}
+				inFact = p.Join(b, facts)
+			}
+			in[b] = inFact
+			o := p.Transfer(b, inFact)
+			prev, ok := out[b]
+			if !ok || !p.Equal(prev, o) {
+				out[b] = o
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return in
+}
+
+func inEdges(b *Block, fwd bool) []*Edge {
+	if fwd {
+		return b.Preds
+	}
+	return b.Succs
+}
+
+func edgeSource(e *Edge, fwd bool) *Block {
+	if fwd {
+		return e.From
+	}
+	return e.To
+}
+
+// iterationOrder returns the blocks reachable from start in reverse
+// post-order of the traversal direction — the classic order that visits a
+// block after all its non-back-edge predecessors.
+func iterationOrder(g *CFG, start *Block, fwd bool) []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		seen[b.Index] = true
+		var next []*Edge
+		if fwd {
+			next = b.Succs
+		} else {
+			next = b.Preds
+		}
+		for _, e := range next {
+			t := e.To
+			if !fwd {
+				t = e.From
+			}
+			if !seen[t.Index] {
+				visit(t)
+			}
+		}
+		post = append(post, b)
+	}
+	visit(start)
+	order := make([]*Block, len(post))
+	for i, b := range post {
+		order[len(post)-1-i] = b
+	}
+	return order
+}

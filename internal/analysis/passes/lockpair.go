@@ -1,31 +1,34 @@
 package passes
 
-// LockPair returns the lockpair analyzer: it walks every task body and
-// function with the shared lock-flow walker and reports paths where an
-// acquired lock is not released, a release has no matching acquire, a lock
-// is re-acquired while held, or branches leave differing lock sets.
+// LockPair returns the lockpair analyzer: it lowers every task body and
+// function onto the framework's control-flow graphs and runs the lock-flow
+// dataflow engine, reporting paths where an acquired lock is not released,
+// a release has no matching acquire, a lock is re-acquired while held, or
+// branches leave differing lock sets.
 func LockPair() *Analyzer {
 	return &Analyzer{
 		Name: "lockpair",
 		Doc: "check acquire/release pairing along every static path\n\n" +
 			"Each Acquire/AcquireShort/Request/Lock must be matched by the\n" +
 			"corresponding release on every path out of the task body, loop\n" +
-			"iteration, and conditional branch.  Scenarios that hold locks\n" +
-			"intentionally (deadlock experiments) are annotated\n" +
-			"//deltalint:deadlock-expected on the scenario function.",
+			"iteration, and conditional branch.  The check runs as a forward\n" +
+			"dataflow problem over the function's CFG (branch-, loop- and\n" +
+			"defer-aware).  Scenarios that hold locks intentionally (deadlock\n" +
+			"experiments) are annotated //deltalint:deadlock-expected on the\n" +
+			"scenario function.",
 		Run: runLockPair,
 	}
 }
 
 func runLockPair(pass *Pass) (any, error) {
-	rep := walkLocks(pass)
+	rep := runLockFlow(pass)
 	for _, scope := range rep.scopes {
 		if scope.expected {
 			// Deadlock experiments end with tasks blocked while holding
 			// locks by design; pairing checks would only restate that.
 			continue
 		}
-		for _, f := range scope.pairs {
+		for _, f := range scope.findings {
 			pass.Reportf(f.pos, "%s", f.msg)
 		}
 	}

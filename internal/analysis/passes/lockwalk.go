@@ -46,6 +46,8 @@ type lockOp struct {
 	acquire bool
 	batch   []lockNode // batch acquisition (both orders); nil for single
 	node    lockNode
+	proc    int64 // constant process id of resource-space ops
+	hasProc bool
 }
 
 // lockEdge is one ordered acquisition: to was acquired while from was held.
@@ -60,21 +62,15 @@ type lockReport struct {
 	scopes []*lockScope
 }
 
-// lockScope is the lock graph plus pairing findings of one top-level
-// function and the task bodies it creates.
+// lockScope is the lock graph of one top-level function and the task
+// bodies it creates.  (Pairing diagnostics moved to the CFG-based engine
+// in lockflow.go; this walker now only builds lock-order edges.)
 type lockScope struct {
 	fn       string
 	expected bool // //deltalint:deadlock-expected
 	pos      token.Pos
 	edges    []lockEdge
 	edgeSet  map[string]bool
-	pairs    []pairFinding
-}
-
-// pairFinding is one lockpair diagnostic candidate.
-type pairFinding struct {
-	pos token.Pos
-	msg string
 }
 
 type lockWalker struct {
@@ -244,16 +240,12 @@ func (w *lockWalker) walkScope(fd *ast.FuncDecl) *lockScope {
 	return scope
 }
 
-// walkRoot analyzes one body from an empty lock state and checks balance at
-// its exits.
+// walkRoot analyzes one body from an empty lock state.
 func (sw *scopeWalk) walkRoot(body *ast.BlockStmt, where string) {
 	prev := sw.where
 	sw.where = where
 	state := &walkState{}
 	sw.walkStmt(body, state)
-	if !state.terminated {
-		sw.checkExit(state, body.End())
-	}
 	sw.where = prev
 }
 
@@ -265,25 +257,6 @@ func (sw *scopeWalk) walkTaskBody(lit *ast.FuncLit, where string) {
 	sw.seen[lit] = true
 	sw.walkRoot(lit.Body, where)
 	delete(sw.active, lit)
-}
-
-// checkExit reports locks still held when a path leaves the function.
-func (sw *scopeWalk) checkExit(state *walkState, end token.Pos) {
-	held := state.clone()
-	for _, op := range held.deferred {
-		if !op.acquire {
-			if i := held.holds(op.node.key); i >= 0 {
-				held.held = append(held.held[:i], held.held[i+1:]...)
-			}
-		}
-	}
-	for _, h := range held.held {
-		sw.scope.pairs = append(sw.scope.pairs, pairFinding{
-			pos: h.pos,
-			msg: fmt.Sprintf("%s: lock %s acquired here is not released on every path to the end of %s",
-				sw.where, h.node.display, sw.where),
-		})
-	}
 }
 
 func (sw *scopeWalk) walkStmts(list []ast.Stmt, state *walkState) {
@@ -303,7 +276,6 @@ func (sw *scopeWalk) walkStmt(st ast.Stmt, state *walkState) {
 		sw.walkCalls(st, state)
 	case *ast.ReturnStmt:
 		sw.walkCalls(st, state)
-		sw.checkExit(state, s.Pos())
 		state.terminated = true
 	case *ast.DeferStmt:
 		ops := sw.resolveOps(s.Call, state)
@@ -364,40 +336,14 @@ func (sw *scopeWalk) walkStmt(st ast.Stmt, state *walkState) {
 	}
 }
 
-// loopBody walks a loop body once and requires the held set at the end of
-// an iteration to match the one at its start.
+// loopBody walks a loop body once; a balanced loop leaves the entry state
+// unchanged (imbalance diagnostics live in the CFG engine).
 func (sw *scopeWalk) loopBody(body *ast.BlockStmt, pos token.Pos, state *walkState) {
 	entry := state.clone()
 	iter := state.clone()
 	sw.walkStmt(body, iter)
-	if !iter.terminated {
-		sw.checkLoopBalance(entry, iter, pos)
-	}
-	// Continue after the loop with the entry state: a balanced loop leaves
-	// it unchanged, and an unbalanced one was already reported.
 	state.held = entry.held
 	state.deferred = iter.deferred
-}
-
-func (sw *scopeWalk) checkLoopBalance(entry, iter *walkState, pos token.Pos) {
-	count := func(st *walkState) map[string]int {
-		m := map[string]int{}
-		for _, h := range st.held {
-			m[h.node.key]++
-		}
-		return m
-	}
-	before, after := count(entry), count(iter)
-	for _, h := range iter.held {
-		if after[h.node.key] > before[h.node.key] {
-			sw.scope.pairs = append(sw.scope.pairs, pairFinding{
-				pos: h.pos,
-				msg: fmt.Sprintf("%s: lock %s acquired in the loop body is not released by the end of the iteration",
-					sw.where, h.node.display),
-			})
-			after[h.node.key]--
-		}
-	}
 }
 
 // walkCases analyzes each clause of a switch/select body independently and
@@ -433,8 +379,8 @@ func (sw *scopeWalk) walkCases(body *ast.BlockStmt, state *walkState, pos token.
 	sw.merge(state, pos, states...)
 }
 
-// merge combines branch states: terminated branches drop out, and any lock
-// held on some surviving branches but not others is a pairing finding.
+// merge combines branch states: terminated branches drop out, and only
+// locks held on every surviving branch stay in the state.
 func (sw *scopeWalk) merge(state *walkState, pos token.Pos, branches ...*walkState) {
 	var live []*walkState
 	for _, b := range branches {
@@ -458,24 +404,6 @@ func (sw *scopeWalk) merge(state *walkState, pos token.Pos, branches ...*walkSta
 		}
 		if onAll {
 			kept = append(kept, h)
-		} else {
-			sw.scope.pairs = append(sw.scope.pairs, pairFinding{
-				pos: h.pos,
-				msg: fmt.Sprintf("%s: lock %s is held on only some branches after the conditional",
-					sw.where, h.node.display),
-			})
-		}
-	}
-	// Locks held on later branches but absent from the first.
-	for _, other := range live[1:] {
-		for _, h := range other.held {
-			if first.holds(h.node.key) < 0 {
-				sw.scope.pairs = append(sw.scope.pairs, pairFinding{
-					pos: h.pos,
-					msg: fmt.Sprintf("%s: lock %s is held on only some branches after the conditional",
-						sw.where, h.node.display),
-				})
-			}
 		}
 	}
 	state.held = kept
@@ -604,11 +532,8 @@ func (sw *scopeWalk) apply(op lockOp, call *ast.CallExpr, state *walkState) {
 	}
 	if op.acquire {
 		if state.holds(op.node.key) >= 0 {
-			sw.scope.pairs = append(sw.scope.pairs, pairFinding{
-				pos: pos,
-				msg: fmt.Sprintf("%s: lock %s is re-acquired while already held (self-deadlock / misuse)",
-					sw.where, op.node.display),
-			})
+			// Re-acquire misuse is reported by the CFG engine; skip the push
+			// so the edge set stays well-formed.
 			return
 		}
 		for _, h := range state.held {
@@ -619,13 +544,7 @@ func (sw *scopeWalk) apply(op lockOp, call *ast.CallExpr, state *walkState) {
 	}
 	if i := state.holds(op.node.key); i >= 0 {
 		state.held = append(state.held[:i], state.held[i+1:]...)
-		return
 	}
-	sw.scope.pairs = append(sw.scope.pairs, pairFinding{
-		pos: pos,
-		msg: fmt.Sprintf("%s: lock %s is released without a matching acquire on this path",
-			sw.where, op.node.display),
-	})
 }
 
 func (sw *scopeWalk) addEdge(from, to lockNode, pos token.Pos) {
@@ -734,17 +653,23 @@ func (w *lockWalker) classify(call *ast.CallExpr) []lockOp {
 		}
 	case name == "Request" && len(call.Args) == 3:
 		if n, ok := idNode("res", call.Args[2]); ok {
-			return []lockOp{{acquire: true, node: n}}
+			op := lockOp{acquire: true, node: n}
+			op.proc, _, op.hasProc = w.constID(call.Args[1])
+			return []lockOp{op}
 		}
 	case name == "Release" && len(call.Args) == 3:
 		if n, ok := idNode("res", call.Args[2]); ok {
-			return []lockOp{{node: n}}
+			op := lockOp{node: n}
+			op.proc, _, op.hasProc = w.constID(call.Args[1])
+			return []lockOp{op}
 		}
 	case (name == "RequestBoth" || name == "RequestPair") && len(call.Args) == 4:
 		a, okA := idNode("res", call.Args[2])
 		b, okB := idNode("res", call.Args[3])
 		if okA && okB {
-			return []lockOp{{acquire: true, batch: []lockNode{a, b}}}
+			op := lockOp{acquire: true, batch: []lockNode{a, b}}
+			op.proc, _, op.hasProc = w.constID(call.Args[1])
+			return []lockOp{op}
 		}
 	case (name == "Lock" || name == "Unlock") && len(call.Args) == 1:
 		sel, ok := call.Fun.(*ast.SelectorExpr)

@@ -1,10 +1,19 @@
-// Package passes implements the four deltalint analyzers:
+// Package passes implements the seven deltalint analyzers:
 //
 //   - lockorder: builds the static lock-order graph across the tasks of
 //     each scenario and reports potential deadlock cycles — the static
 //     mirror of the runtime PDDA/DDU (see DESIGN.md §8).
 //   - lockpair: flags paths through a task body where an acquired lock is
-//     not released, released without being held, or re-acquired.
+//     not released, released without being held, or re-acquired; runs on
+//     the CFG dataflow engine (see DESIGN.md §9).
+//   - claims: infers each task's maximal resource-claim set and emits the
+//     machine-readable claims manifest; checks Banker DeclareClaim
+//     coverage against the inferred claims.
+//   - ceiling: validates IPCP SetCeiling values against static acquirer
+//     priorities and flags locks acquired with no programmed ceiling;
+//     computes static worst-case blocking bounds.
+//   - memlife: checks SoCDMMU alloc/free pairing, double free,
+//     use-after-free of block handles and leak-on-task-exit.
 //   - determinism: enforces the byte-identical-runs contract in simulation
 //     code (no wall clock, no math/rand, no order-sensitive map ranges).
 //   - tracekind: requires switches over module enums (trace.Kind,
@@ -20,6 +29,10 @@
 //	                               simulation-visible state
 //	//deltalint:partial <why>      on a switch that deliberately handles a
 //	                               subset of an enum
+//	//deltalint:ceiling <why>      on an acquire or SetCeiling line whose
+//	                               ceiling situation is intentional
+//	//deltalint:memlife <why>      on an allocation whose lifetime is
+//	                               managed outside the analyzable scope
 package passes
 
 import (
@@ -39,7 +52,7 @@ type (
 
 // All returns the full deltalint analyzer set in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder(), LockPair(), Determinism(), TraceKind()}
+	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind()}
 }
 
 // hasDirective reports whether a comment group contains the given

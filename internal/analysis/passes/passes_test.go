@@ -18,6 +18,18 @@ func TestLockPairGolden(t *testing.T) {
 	analysistest.Run(t, testdata(), LockPair(), "internal/lockpair")
 }
 
+func TestClaimsGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), Claims(), "internal/claims")
+}
+
+func TestCeilingGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), Ceiling(), "internal/ceiling")
+}
+
+func TestMemLifeGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), MemLife(), "internal/memlife")
+}
+
 func TestDeterminismGolden(t *testing.T) {
 	analysistest.Run(t, testdata(), Determinism(), "internal/determinism")
 }

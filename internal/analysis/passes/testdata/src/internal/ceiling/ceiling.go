@@ -1,0 +1,64 @@
+// Package ceiling is golden testdata for the ceiling pass: IPCP ceilings
+// must dominate each lock's static acquirer priorities, and every acquired
+// lock needs a programmed ceiling (the default is 0 = highest priority).
+package ceiling
+
+type TaskCtx struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type LockCache struct{}
+
+func NewLockCache(locks int) *LockCache { return &LockCache{} }
+
+func (l *LockCache) SetCeiling(id, ceiling int)  {}
+func (l *LockCache) Acquire(c *TaskCtx, id int)  {}
+func (l *LockCache) Release(c *TaskCtx, id int)  {}
+
+const (
+	lockGood = 0
+	lockLow  = 1
+	lockBare = 2
+	lockDMA  = 3
+)
+
+// Ceilings programs lockGood correctly (acquirers have priorities 1 and 2,
+// ceiling 1 dominates) but under-programs lockLow: its only acquirer runs
+// at priority 2, so ceiling 3 would let a priority-2 preemption violate
+// IPCP (true positive).
+func Ceilings(k *Kernel, lc *LockCache) {
+	_ = NewLockCache(4)
+	lc.SetCeiling(lockGood, 1)
+	lc.SetCeiling(lockLow, 3) // want `SetCeiling\(1, 3\) does not dominate the lock's acquirers \(highest acquirer priority 2\): IPCP requires ceiling <= 2`
+	k.CreateTask("hi", 0, 1, 0, func(c *TaskCtx) {
+		lc.Acquire(c, lockGood)
+		lc.Release(c, lockGood)
+	})
+	k.CreateTask("mid", 0, 2, 0, func(c *TaskCtx) {
+		lc.Acquire(c, lockGood)
+		lc.Acquire(c, lockLow)
+		lc.Release(c, lockLow)
+		lc.Release(c, lockGood)
+	})
+}
+
+// Unprogrammed acquires lockBare with no SetCeiling anywhere: the default
+// ceiling 0 silently makes the critical section globally non-preemptible
+// (true positive).
+func Unprogrammed(k *Kernel, lc *LockCache) {
+	k.CreateTask("worker", 0, 2, 0, func(c *TaskCtx) {
+		lc.Acquire(c, lockBare) // want `lock long:2\(lockBare\) is acquired but has no programmed ceiling`
+		lc.Release(c, lockBare)
+	})
+}
+
+// AnnotatedDefault documents an intentional default-0 ceiling (must not
+// flag).
+func AnnotatedDefault(k *Kernel, lc *LockCache) {
+	k.CreateTask("isr", 0, 1, 0, func(c *TaskCtx) {
+		lc.Acquire(c, lockDMA) //deltalint:ceiling ISR path wants the non-preemptible default
+		lc.Release(c, lockDMA)
+	})
+}

@@ -1,0 +1,55 @@
+// Package claims is golden testdata for the claims pass: maximal
+// resource-claim inference and Banker DeclareClaim coverage.
+package claims
+
+type TaskCtx struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type Manager struct{}
+
+func (m *Manager) Request(c *TaskCtx, p, q int) {}
+func (m *Manager) Release(c *TaskCtx, p, q int) {}
+
+type Banker struct{}
+
+func (b *Banker) DeclareClaim(p int, rs ...int) {}
+
+const (
+	resA = 0
+	resB = 1
+)
+
+// Covered declares every resource its task can request: no report.
+func Covered(k *Kernel, m *Manager, b *Banker) {
+	b.DeclareClaim(0, resA, resB)
+	k.CreateTask("p1", 0, 1, 0, func(c *TaskCtx) {
+		m.Request(c, 0, resA)
+		m.Request(c, 0, resB)
+		m.Release(c, 0, resB)
+		m.Release(c, 0, resA)
+	})
+}
+
+// MissingDeclare requests resB under process 1 without declaring it — the
+// Banker would reject the request at runtime (true positive).
+func MissingDeclare(k *Kernel, m *Manager, b *Banker) {
+	b.DeclareClaim(1, resA)
+	k.CreateTask("p2", 0, 2, 0, func(c *TaskCtx) {
+		m.Request(c, 1, resA)
+		m.Request(c, 1, resB) // want `task p2 \(process 1\) may request res:1\(resB\) but no DeclareClaim covers it`
+		m.Release(c, 1, resB)
+		m.Release(c, 1, resA)
+	})
+}
+
+// NoDeclares makes no static declarations: the scenario's claims come from
+// a manifest at runtime, so there is nothing to check (must not flag).
+func NoDeclares(k *Kernel, m *Manager) {
+	k.CreateTask("p3", 0, 1, 0, func(c *TaskCtx) {
+		m.Request(c, 0, resA)
+		m.Release(c, 0, resA)
+	})
+}

@@ -1,0 +1,150 @@
+// Package memlife is golden testdata for the memlife pass: SoCDMMU
+// alloc/free pairing, double free, use-after-free and task-exit leaks.
+package memlife
+
+type TaskCtx struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type Unit struct{}
+
+func (u *Unit) Alloc(c *TaskCtx, bytes int) (int, error) { return 0, nil }
+func (u *Unit) Free(c *TaskCtx, addr int)                {}
+
+var pool []int
+
+// Leak never frees the block on any path (true positive).
+func Leak(u *Unit, c *TaskCtx) {
+	a, err := u.Alloc(c, 64) // want `block a allocated here is not freed on every path to the end of the function`
+	if err != nil {
+		return
+	}
+	if a == 0 {
+		return
+	}
+}
+
+// BranchFree frees only on the then-branch (true positive).
+func BranchFree(u *Unit, c *TaskCtx, full bool) {
+	a, _ := u.Alloc(c, 64) // want `block a is freed on only some paths through the conditional`
+	if full {
+		u.Free(c, a)
+	}
+}
+
+// DoubleFree releases the same handle twice (true positive).
+func DoubleFree(u *Unit, c *TaskCtx) {
+	a, _ := u.Alloc(c, 64)
+	u.Free(c, a)
+	u.Free(c, a) // want `block a is already freed on this path`
+}
+
+// UseAfterFree reads a handle past its free (true positive).
+func UseAfterFree(u *Unit, c *TaskCtx) int {
+	a, _ := u.Alloc(c, 64)
+	u.Free(c, a)
+	if a == 0 { // want `block a is used after being freed`
+		return -1
+	}
+	return 0
+}
+
+// FreeAfterFail frees on the failed-allocation path (true positive).
+func FreeAfterFail(u *Unit, c *TaskCtx) {
+	a, err := u.Alloc(c, 64)
+	if err != nil {
+		u.Free(c, a) // want `block a may be freed after its allocation failed \(missing err guard\)`
+		return
+	}
+	u.Free(c, a)
+}
+
+// Discard drops the allocation result on the floor (true positive).
+func Discard(u *Unit, c *TaskCtx) {
+	u.Alloc(c, 64) // want `allocation result is discarded; the block can never be freed`
+}
+
+// LoopLeak allocates every iteration without freeing (true positive).
+func LoopLeak(u *Unit, c *TaskCtx) {
+	for i := 0; i < 3; i++ {
+		a, _ := u.Alloc(c, 64) // want `block a allocated in the loop body is not freed by the end of the iteration`
+		if a == 0 {
+			continue
+		}
+	}
+}
+
+// TaskLeak leaks at task exit: task bodies are roots too (true positive).
+func TaskLeak(k *Kernel, u *Unit) {
+	k.CreateTask("worker", 0, 1, 0, func(c *TaskCtx) {
+		a, _ := u.Alloc(c, 64) // want `block a allocated here is not freed on every path to the end of the function`
+		if a == 0 {
+			return
+		}
+	})
+}
+
+// Balanced is the withFrame idiom: err-guarded alloc, free on the happy
+// path (must not flag).
+func Balanced(u *Unit, c *TaskCtx) {
+	a, err := u.Alloc(c, 64)
+	if err != nil {
+		return
+	}
+	u.Free(c, a)
+}
+
+// DeferFree pairs via defer (must not flag).
+func DeferFree(u *Unit, c *TaskCtx) {
+	a, _ := u.Alloc(c, 64)
+	defer u.Free(c, a)
+	if a == 0 {
+		return
+	}
+}
+
+// Pool stores the handle: ownership escapes to the pool, freed elsewhere
+// (must not flag).
+func Pool(u *Unit, c *TaskCtx) {
+	a, _ := u.Alloc(c, 64)
+	pool = append(pool, a)
+}
+
+// NewBlock hands a fresh allocation to its caller (must not flag — and the
+// summary makes callers responsible for it).
+func NewBlock(u *Unit, c *TaskCtx) int {
+	a, _ := u.Alloc(c, 64)
+	return a
+}
+
+// CallerLeaks receives a fresh block from NewBlock and drops it (true
+// positive, via the returns-fresh summary).
+func CallerLeaks(u *Unit, c *TaskCtx) {
+	a := NewBlock(u, c) // want `block a allocated here is not freed on every path to the end of the function`
+	if a == 0 {
+		return
+	}
+}
+
+// release frees its parameter — callers get a frees-param summary.
+func release(u *Unit, c *TaskCtx, addr int) {
+	u.Free(c, addr)
+}
+
+// UsesHelper frees through the helper (must not flag).
+func UsesHelper(u *Unit, c *TaskCtx) {
+	a, _ := u.Alloc(c, 64)
+	release(u, c, a)
+}
+
+// Annotated documents an allocation whose lifetime ends outside the
+// analyzable scope (must not flag).
+func Annotated(u *Unit, c *TaskCtx) {
+	//deltalint:memlife handed to the DMA engine, freed by the completion ISR
+	a, _ := u.Alloc(c, 64)
+	if a == 0 {
+		return
+	}
+}

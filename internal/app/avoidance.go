@@ -3,6 +3,7 @@ package app
 import (
 	"fmt"
 
+	"deltartos/internal/claims"
 	"deltartos/internal/daa"
 	"deltartos/internal/dau"
 	"deltartos/internal/rtos"
@@ -219,6 +220,9 @@ type AvoidanceWorld struct {
 	// GiveUps counts give-up compliance actions; Reacquires counts
 	// re-requests issued after giving a resource up.
 	GiveUps int
+	// Audit records every (task, resource) hold actually granted, for the
+	// runtime-vs-static-claims cross-check.
+	Audit *claims.Audit
 }
 
 // NewAvoidanceWorld builds a 4-PE world with the standard devices.
@@ -226,7 +230,13 @@ func NewAvoidanceWorld(b AvoidanceBackend) *AvoidanceWorld {
 	s := sim.New()
 	w := &AvoidanceWorld{S: s, K: rtos.NewKernel(s, 4), B: b, devices: sim.StandardDevices(s)}
 	w.tasks = make([]*rtos.Task, 4)
+	w.Audit = claims.NewAudit()
 	return w
+}
+
+// recordHold books that the calling task now holds resource q.
+func (w *AvoidanceWorld) recordHold(c *rtos.TaskCtx, q int) {
+	w.Audit.Record(c.Task().Name, claims.ResourceKey("res", q))
 }
 
 // Device returns resource q's device.
@@ -243,6 +253,7 @@ func (w *AvoidanceWorld) Request(c *rtos.TaskCtx, p, q int) {
 		recordAvoid(w.S.Rec, "avoid.request", c.Now(), cost, c.Task().PE, c.Task().Name, q, decisionVerdict(res.Decision))
 		switch res.Decision {
 		case daa.Granted:
+			w.recordHold(c, q)
 			return
 		case daa.Pending, daa.PendingOwnerAsked:
 			if res.Decision == daa.PendingOwnerAsked {
@@ -251,6 +262,7 @@ func (w *AvoidanceWorld) Request(c *rtos.TaskCtx, p, q int) {
 			for w.B.Holder(q) != p {
 				c.Park(fmt.Sprintf("avoid:%s", w.devices[q].Name))
 			}
+			w.recordHold(c, q)
 			return
 		case daa.GiveUpRequested:
 			// Comply: release everything held (each release may hand the
@@ -288,6 +300,8 @@ func (w *AvoidanceWorld) RequestPair(c *rtos.TaskCtx, p, qa, qb int) {
 			}
 			if res.Decision != daa.Granted {
 				pending = append(pending, q)
+			} else {
+				w.recordHold(c, q)
 			}
 			break
 		}
@@ -296,6 +310,7 @@ func (w *AvoidanceWorld) RequestPair(c *rtos.TaskCtx, p, qa, qb int) {
 		for w.B.Holder(q) != p {
 			c.Park(fmt.Sprintf("avoid:%s", w.devices[q].Name))
 		}
+		w.recordHold(c, q)
 	}
 }
 
@@ -314,6 +329,11 @@ func (w *AvoidanceWorld) release(c *rtos.TaskCtx, p, q int) {
 	recordAvoid(w.S.Rec, "avoid.release", c.Now(), cost, c.Task().PE, c.Task().Name, q, verdict)
 	if res.GrantedTo >= 0 && w.tasks[res.GrantedTo] != nil {
 		w.K.Unpark(w.tasks[res.GrantedTo])
+	}
+	for _, g := range res.AlsoGranted {
+		if g >= 0 && w.tasks[g] != nil {
+			w.K.Unpark(w.tasks[g])
+		}
 	}
 }
 
@@ -341,6 +361,11 @@ func (w *AvoidanceWorld) askOwner(owner, q int) {
 		if res.GrantedTo >= 0 && w.tasks[res.GrantedTo] != nil {
 			w.K.Unpark(w.tasks[res.GrantedTo])
 		}
+		for _, g := range res.AlsoGranted {
+			if g >= 0 && w.tasks[g] != nil {
+				w.K.Unpark(w.tasks[g])
+			}
+		}
 		// The owner will need the resource again: queue its re-request.
 		rr, cost2 := w.B.RequestOp(owner, q)
 		p.Delay(cost2)
@@ -357,6 +382,7 @@ func (w *AvoidanceWorld) WaitRegranted(c *rtos.TaskCtx, p, q int) {
 	for w.B.Holder(q) != p {
 		c.Park(fmt.Sprintf("regrant:%s", w.devices[q].Name))
 	}
+	w.recordHold(c, q)
 }
 
 // AvoidanceResult is one column of Table 7 or Table 9.
@@ -368,6 +394,9 @@ type AvoidanceResult struct {
 	GDlAvoided   bool
 	RDlAvoided   bool
 	Completed    bool
+	// Observed is the audited per-task held-set, for the static-claims
+	// cross-check.
+	Observed []claims.TaskClaim
 }
 
 // RunGrantDeadlockScenario executes Application Example I (Table 6 /
@@ -425,6 +454,7 @@ func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult
 		AppCycles:    last,
 		GDlAvoided:   gdlSeen,
 		Completed:    done[0] && done[1] && done[2],
+		Observed:     w.Audit.Observed(),
 	}
 }
 
@@ -488,6 +518,7 @@ func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResu
 		AppCycles:    lastFinish(w.K),
 		RDlAvoided:   rdlSeen,
 		Completed:    done[0] && done[1] && done[2],
+		Observed:     w.Audit.Observed(),
 	}
 }
 

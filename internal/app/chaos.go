@@ -1,6 +1,7 @@
 package app
 
 import (
+	"deltartos/internal/claims"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 	"deltartos/internal/socdmmu"
@@ -51,6 +52,9 @@ type ChaosWorld struct {
 	// IRQServices counts IDCT interrupt-service activations, real and
 	// spurious alike.
 	IRQServices int
+	// Audit records every (task, lock) hold for the static-claims
+	// cross-check.
+	Audit *claims.Audit
 }
 
 // BuildChaosScenario constructs the chaos workload on a 4-PE MPSoC without
@@ -70,6 +74,13 @@ func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager) *ChaosWorld 
 	}
 	idct := s.NewDevice("IDCT")
 	w := &ChaosWorld{S: s, K: k, Locks: locks, Mem: mem, Devices: []*sim.Device{idct}}
+	w.Audit = claims.NewAudit()
+	switch m := locks.(type) {
+	case *soclc.SoftwareLocks:
+		m.Audit = w.Audit
+	case *soclc.LockCache:
+		m.Audit = w.Audit
+	}
 
 	const (
 		lockState = 0 // long: shared position state

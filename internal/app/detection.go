@@ -1,6 +1,7 @@
 package app
 
 import (
+	"deltartos/internal/claims"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 )
@@ -17,6 +18,9 @@ type DetectionResult struct {
 	// the RAG at the moment of detection (nil when nothing deadlocked).
 	DeadlockedProcs     []int
 	DeadlockedResources []int
+	// Observed is the audited per-task held-set, for the static-claims
+	// cross-check.
+	Observed []claims.TaskClaim
 }
 
 // Scenario timing.  Table 4 fixes the event ORDER; absolute times are our
@@ -66,6 +70,7 @@ func RunDetectionScenario(mkDet func() Detector) DetectionResult {
 		sd.Pad = 5 // RTOS1 compiles PDDA for the 5-process/5-resource maximum
 	}
 	rm := NewResourceManager(k, det, 4, devices)
+	rm.Audit = claims.NewAudit()
 	lock := k.NewMutex("alloc-svc", rtos.ProtoNone, 0)
 	rm.Serialize(lock)
 	for p := 0; p < 4; p++ {
@@ -113,6 +118,7 @@ func RunDetectionScenario(mkDet func() Detector) DetectionResult {
 		AppCycles:           rm.DeadlockAt,
 		DeadlockedProcs:     rm.DeadlockedProcs,
 		DeadlockedResources: rm.DeadlockedResources,
+		Observed:            rm.Audit.Observed(),
 	}
 	switch d := det.(type) {
 	case *SoftwareDetector:

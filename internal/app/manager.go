@@ -8,6 +8,7 @@ package app
 import (
 	"fmt"
 
+	"deltartos/internal/claims"
 	"deltartos/internal/ddu"
 	"deltartos/internal/pdda"
 	"deltartos/internal/rag"
@@ -160,6 +161,9 @@ type ResourceManager struct {
 	DeadlockedResources []int
 	// Events counts allocation events (requests, grants, releases).
 	Events int
+	// Audit records every (task, resource) grant for the static-claims
+	// cross-check; nil-safe, set by the scenarios.
+	Audit *claims.Audit
 }
 
 type waiter struct {
@@ -253,6 +257,7 @@ func (rm *ResourceManager) Request(c *rtos.TaskCtx, p, q int) {
 		if err := rm.g.SetGrant(q, p); err != nil {
 			panic("app: " + err.Error())
 		}
+		rm.Audit.Record(c.Task().Name, claims.ResourceKey("res", q))
 		rm.detect(c)
 		rm.unlock(c)
 		return
@@ -279,6 +284,7 @@ func (rm *ResourceManager) RequestBoth(c *rtos.TaskCtx, p, q1, q2 int) {
 			if err := rm.g.SetGrant(q, p); err != nil {
 				panic("app: " + err.Error())
 			}
+			rm.Audit.Record(c.Task().Name, claims.ResourceKey("res", q))
 			rm.detect(c)
 			continue
 		}
@@ -319,6 +325,7 @@ func (rm *ResourceManager) Release(c *rtos.TaskCtx, p, q int) {
 	if err := rm.g.SetGrant(q, w.proc); err != nil {
 		panic("app: " + err.Error())
 	}
+	rm.Audit.Record(w.t.Name, claims.ResourceKey("res", q))
 	// The grant event triggers detection — this is the event that catches
 	// the grant deadlock of the detection scenario.
 	rm.detect(c)

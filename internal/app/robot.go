@@ -1,6 +1,7 @@
 package app
 
 import (
+	"deltartos/internal/claims"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 	"deltartos/internal/soclc"
@@ -14,6 +15,9 @@ type RobotResult struct {
 	OverallCycles sim.Cycles
 	DeadlinesMet  bool
 	Trace         []rtos.TraceEvent
+	// Observed is the audited per-task held-set, for the static-claims
+	// cross-check.
+	Observed []claims.TaskClaim
 }
 
 // Robot application parameters (Section 5.5 / Figure 19).  The master clock
@@ -68,6 +72,13 @@ func RunRobotScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, wantTrace bool
 	k := rtos.NewKernel(s, 4)
 	locks := mkLocks(k)
 	shorts := locks.(shortLocker)
+	aud := claims.NewAudit()
+	switch m := locks.(type) {
+	case *soclc.SoftwareLocks:
+		m.Audit = aud
+	case *soclc.LockCache:
+		m.Audit = aud
+	}
 
 	var trace []rtos.TraceEvent
 	if wantTrace {
@@ -171,6 +182,7 @@ func RunRobotScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, wantTrace bool
 		OverallCycles: overall,
 		DeadlinesMet:  deadlinesMet,
 		Trace:         trace,
+		Observed:      aud.Observed(),
 	}
 }
 

@@ -83,6 +83,13 @@ type ReleaseResult struct {
 	// SkippedWaiters lists waiters bypassed because granting to them would
 	// deadlock, in the order they were considered.
 	SkippedWaiters []int
+	// AlsoGranted lists processes granted OTHER resources as a side effect
+	// of this release.  The DAA/DAU never populate it (a release hands off
+	// at most the freed resource), but claims-based backends such as the
+	// Banker's algorithm retry every pending request after a release: a
+	// request refused as unsafe can become safe when an unrelated resource
+	// frees up.
+	AlsoGranted []int
 }
 
 // Stats instruments the software implementation.

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 
+	"deltartos/internal/claims"
 	"deltartos/internal/gates"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
@@ -150,6 +151,9 @@ type SoftwareLocks struct {
 	ShortAcquires   int
 	ShortSpinCycles sim.Cycles
 	DroppedReleases int
+	// Audit records every (task, lock) hold for the static-claims
+	// cross-check; nil-safe, set by the scenarios.
+	Audit *claims.Audit
 }
 
 // NewSoftwareLocks creates n software long locks.
@@ -173,6 +177,7 @@ func (sl *SoftwareLocks) Acquire(c *rtos.TaskCtx, id int) {
 	c.ChargeService(serviceWords)
 	c.ChargeSharedAccesses(swLockAccesses)
 	sl.stats.Acquires++
+	sl.Audit.Record(t.Name, claims.ResourceKey("long", id))
 	if l.owner == nil {
 		l.owner = t
 		l.savedPrio = t.CurPrio
@@ -258,6 +263,7 @@ func (sl *SoftwareLocks) AcquireShort(c *rtos.TaskCtx, id int) {
 		if !sl.shorts[id] {
 			sl.shorts[id] = true
 			sl.shortOwner[id] = c.Task()
+			sl.Audit.Record(c.Task().Name, claims.ResourceKey("short", id))
 			c.BusWrite(1) // claim (store-conditional)
 			sl.ShortAcquires++
 			sl.ShortSpinCycles += c.Now() - start
@@ -314,6 +320,9 @@ type LockCache struct {
 	ShortAcquires   int
 	ShortSpinCycles sim.Cycles
 	DroppedReleases int
+	// Audit records every (task, lock) hold for the static-claims
+	// cross-check; nil-safe, set by the scenarios.
+	Audit *claims.Audit
 }
 
 // NewLockCache creates a lock cache.  Ceilings default to 0 (highest);
@@ -351,6 +360,7 @@ func (lc *LockCache) Acquire(c *rtos.TaskCtx, id int) {
 	c.ChargeSharedAccesses(hwLockAccesses)
 	c.Kernel().S.Bus.TransactFast(c.Proc(), 1) // lock-cache test-and-set
 	lc.stats.Acquires++
+	lc.Audit.Record(t.Name, claims.ResourceKey("long", id))
 	if l.owner == nil {
 		l.owner = t
 		l.savedPrio = t.CurPrio
@@ -433,6 +443,7 @@ func (lc *LockCache) AcquireShort(c *rtos.TaskCtx, id int) {
 		if !lc.shorts[id] {
 			lc.shorts[id] = true
 			lc.shortOwner[id] = c.Task()
+			lc.Audit.Record(c.Task().Name, claims.ResourceKey("short", id))
 			lc.ShortAcquires++
 			lc.ShortSpinCycles += c.Now() - start
 			record(c, "lock.acquire.short", start, id, "")
