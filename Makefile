@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet lint lint-json race bench chaos
+.PHONY: tier1 build test vet lint lint-json race bench bench-campaign chaos
 
 # tier1 is the merge gate: everything must build, vet and deltalint clean,
 # and pass the test suite under the race detector.
@@ -32,9 +32,17 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem
 
+# bench-campaign measures the campaign engine — event-dispatch allocs/op and
+# the sequential-vs-parallel wall-clock ratio for a 32-seed chaos sweep —
+# and writes BENCH_campaign.json (uploaded as a CI artifact).
+bench-campaign:
+	$(GO) run ./cmd/deltasim -bench-campaign BENCH_campaign.json
+
 # chaos is the fault-injection smoke: a short seeded campaign on each lock
-# system.  Every seed must reach a classified terminal state (the binary
-# exits nonzero on a panic or an unexplained leak).
+# system, under the race detector with a parallel worker pool so the sharded
+# campaign engine is exercised, not just the sequential path.  Every seed
+# must reach a classified terminal state (the binary exits nonzero on a
+# panic, a data race, or an unexplained leak).
 chaos:
-	$(GO) run ./cmd/deltasim -chaos -chaos-seeds 3 -chaos-system rtos5
-	$(GO) run ./cmd/deltasim -chaos -chaos-seeds 3 -chaos-system rtos6
+	$(GO) run -race ./cmd/deltasim -chaos -chaos-seeds 3 -parallel 4 -chaos-system rtos5
+	$(GO) run -race ./cmd/deltasim -chaos -chaos-seeds 3 -parallel 4 -chaos-system rtos6

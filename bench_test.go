@@ -11,11 +11,13 @@ import (
 	"deltartos/internal/analysis/framework"
 	"deltartos/internal/analysis/passes"
 	"deltartos/internal/app"
+	"deltartos/internal/campaign"
 	"deltartos/internal/daa"
 	"deltartos/internal/dau"
 	"deltartos/internal/ddu"
 	"deltartos/internal/delta"
 	"deltartos/internal/det"
+	"deltartos/internal/experiments"
 	"deltartos/internal/pdda"
 	"deltartos/internal/rag"
 	"deltartos/internal/sim"
@@ -176,7 +178,7 @@ func BenchmarkTable12Splash(b *testing.B) {
 func splashBench(b *testing.B, tag string, mk func() socdmmu.Allocator) {
 	kernels := []struct {
 		name string
-		run  func(func() socdmmu.Allocator) app.SplashResult
+		run  func(func() socdmmu.Allocator, ...app.Option) app.SplashResult
 	}{
 		{"LU", app.RunLU}, {"FFT", app.RunFFT}, {"RADIX", app.RunRadix},
 	}
@@ -472,6 +474,50 @@ func swBackend(b *testing.B) func() app.AvoidanceBackend {
 			b.Fatal(err)
 		}
 		return be
+	}
+}
+
+// ---- Campaign engine / sim hot path ----
+
+// BenchmarkSimDispatch measures the cost of one scheduled timer event:
+// push + pop on the event heap plus the resume/yield handshake.  The
+// acceptance gate is 0 allocs/op — the de-boxed heap must not allocate in
+// steady state.
+func BenchmarkSimDispatch(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	s.Spawn("bench", 0, func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ResetTimer()
+	s.Run()
+}
+
+// BenchmarkChaosCampaign compares a sequential seed sweep against the
+// worker-pool sharded one (the `deltasim -parallel` path).  Output identity
+// between the two is asserted by the tests; this measures the wall-clock
+// ratio that `make bench-campaign` records in BENCH_campaign.json.
+func BenchmarkChaosCampaign(b *testing.B) {
+	cfg := experiments.DefaultChaosConfig()
+	cfg.Seeds = 32
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", campaign.DefaultWorkers()},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rc := &experiments.RunCtx{Parallel: tc.workers}
+				if _, _, err := experiments.RunChaosCampaign(cfg, rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"deltartos/internal/campaign"
+	"deltartos/internal/experiments"
+	"deltartos/internal/sim"
+)
+
+// benchSeeds is the campaign size the acceptance numbers are quoted for: a
+// 32-seed sweep is large enough to amortise pool startup and small enough to
+// finish in seconds on one core.
+const benchSeeds = 32
+
+// benchReport is the JSON document `-bench-campaign` writes.  Durations are
+// nanoseconds; Speedup is sequential/parallel wall-clock.
+type benchReport struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	Seeds      int `json:"seeds"`
+	Dispatch   struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	} `json:"dispatch"`
+	Campaign struct {
+		SequentialNs int64   `json:"sequential_ns"`
+		ParallelNs   int64   `json:"parallel_ns"`
+		Speedup      float64 `json:"speedup"`
+		OutputsMatch bool    `json:"outputs_match"`
+	} `json:"campaign"`
+}
+
+// runBenchCampaign measures the two headline numbers of the campaign-engine
+// work — event-dispatch allocation cost and parallel seed-sweep speedup —
+// and writes them to path as JSON (the CI artifact BENCH_campaign.json).
+func runBenchCampaign(path string, workers int) error {
+	if workers <= 1 {
+		workers = campaign.DefaultWorkers()
+	}
+	var rep benchReport
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Workers = workers
+	rep.Seeds = benchSeeds
+
+	// Event dispatch: one proc scheduling back-to-back timer events.  The
+	// inlined event heap must not allocate per operation — steady-state
+	// allocs/op is the regression gate (see BenchmarkSimDispatch).
+	dispatch := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		s := sim.New()
+		s.Spawn("bench", 0, func(p *sim.Proc) {
+			for i := 0; i < b.N; i++ {
+				p.Delay(1)
+			}
+		})
+		b.ResetTimer()
+		s.Run()
+	})
+	rep.Dispatch.NsPerOp = float64(dispatch.NsPerOp())
+	rep.Dispatch.AllocsPerOp = dispatch.AllocsPerOp()
+	rep.Dispatch.BytesPerOp = dispatch.AllocedBytesPerOp()
+
+	cfg := experiments.DefaultChaosConfig()
+	cfg.Seeds = benchSeeds
+
+	seqOut, seqNs, err := timeCampaign(cfg, 1)
+	if err != nil {
+		return fmt.Errorf("sequential campaign: %w", err)
+	}
+	parOut, parNs, err := timeCampaign(cfg, workers)
+	if err != nil {
+		return fmt.Errorf("parallel campaign: %w", err)
+	}
+	rep.Campaign.SequentialNs = seqNs
+	rep.Campaign.ParallelNs = parNs
+	if parNs > 0 {
+		rep.Campaign.Speedup = float64(seqNs) / float64(parNs)
+	}
+	rep.Campaign.OutputsMatch = seqOut == parOut
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("dispatch: %.1f ns/op, %d allocs/op\n", rep.Dispatch.NsPerOp, rep.Dispatch.AllocsPerOp)
+	fmt.Printf("campaign (%d seeds): sequential %s, parallel(%d) %s, speedup %.2fx, outputs match: %v\n",
+		benchSeeds, time.Duration(seqNs), workers, time.Duration(parNs),
+		rep.Campaign.Speedup, rep.Campaign.OutputsMatch)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// timeCampaign runs one full chaos campaign and returns its rendered table
+// plus wall-clock duration.  The rendered output doubles as the
+// byte-identity witness between worker counts.
+func timeCampaign(cfg experiments.ChaosConfig, workers int) (string, int64, error) {
+	rc := &experiments.RunCtx{Parallel: workers, Label: "bench"}
+	start := time.Now()
+	res, _, err := experiments.RunChaosCampaign(cfg, rc)
+	elapsed := time.Since(start).Nanoseconds()
+	if err != nil {
+		return "", 0, err
+	}
+	return experiments.Render(res), elapsed, nil
+}

@@ -6,9 +6,16 @@
 //
 //	deltasim -list
 //	deltasim -exp table45
-//	deltasim -all
+//	deltasim -all -parallel 8
 //	deltasim -exp fig20 -vcd robot.vcd
 //	deltasim -exp table45 -trace table45.json -metrics table45.metrics.json
+//	deltasim -chaos -chaos-seeds 32 -parallel 8
+//	deltasim -bench-campaign BENCH_campaign.json
+//
+// -parallel shards independent runs — the seeds of a -chaos campaign and
+// the experiments of -all — across a worker pool (default: all cores).
+// Results are merged in input order, so output, -metrics JSON and -trace
+// exports are byte-identical to a -parallel 1 run.
 //
 // -trace writes a Chrome trace-event file (load it in chrome://tracing or
 // Perfetto) with one process per simulation run and one thread per PE, plus
@@ -23,20 +30,18 @@ import (
 	"fmt"
 	"os"
 
+	"deltartos/internal/campaign"
 	"deltartos/internal/experiments"
 	"deltartos/internal/rtos"
-	"deltartos/internal/sim"
 	"deltartos/internal/trace"
 )
-
-// curLabel names the experiment whose simulations are currently being
-// created; recorder labels are "<experiment>#<n>" in creation order.
-var curLabel = "run"
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	exp := flag.String("exp", "", "run one experiment by id (e.g. table1, fig15)")
 	all := flag.Bool("all", false, "run every experiment")
+	parallel := flag.Int("parallel", campaign.DefaultWorkers(),
+		"worker count for seed sweeps and -all (1 = sequential; output is identical either way)")
 	vcdPath := flag.String("vcd", "", "with -exp fig20: also write the robot schedule waveform to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file covering every simulation run")
 	metricsPath := flag.String("metrics", "", "write per-experiment JSON summaries (table rows + trace counters)")
@@ -45,6 +50,8 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "with -chaos: first seed (run i uses seed+i)")
 	chaosFaults := flag.Int("chaos-faults", 6, "with -chaos: faults injected per run")
 	chaosSystem := flag.String("chaos-system", "rtos5", "with -chaos: lock system under test (rtos5 or rtos6)")
+	benchPath := flag.String("bench-campaign", "",
+		"measure the campaign engine (sequential vs parallel wall-clock, dispatch allocs/op), write JSON to this file, and exit")
 	flag.Parse()
 
 	if *vcdPath != "" && *exp != "fig20" {
@@ -52,12 +59,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *benchPath != "" {
+		if err := runBenchCampaign(*benchPath, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim: bench-campaign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var session *trace.Session
 	if *tracePath != "" || *metricsPath != "" {
 		session = trace.NewSession()
-		sim.OnNew = func(s *sim.Sim) {
-			s.Rec = session.NewRecorder(fmt.Sprintf("%s#%d", curLabel, session.Len()))
-		}
 	}
 
 	var summaries []experiments.Summary
@@ -70,7 +82,8 @@ func main() {
 		cfg.BaseSeed = *chaosSeed
 		cfg.Faults = *chaosFaults
 		cfg.System = *chaosSystem
-		if err := runChaos(cfg, session, collect, &summaries); err != nil {
+		rc := &experiments.RunCtx{Parallel: *parallel, Session: session, Label: "chaos"}
+		if err := runChaos(cfg, rc, collect, &summaries); err != nil {
 			fmt.Fprintln(os.Stderr, "deltasim: chaos:", err)
 			os.Exit(1)
 		}
@@ -84,11 +97,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "deltasim: unknown experiment %q (try -list)\n", *exp)
 			os.Exit(2)
 		}
+		rc := &experiments.RunCtx{Parallel: *parallel, Session: session, Label: e.ID}
 		var err error
 		if *vcdPath != "" {
-			err = runFig20WithVCD(*vcdPath, session, collect, &summaries)
+			err = runFig20WithVCD(*vcdPath, rc, collect, &summaries)
 		} else {
-			err = runOne(e, session, collect, &summaries)
+			err = runOne(e, rc, collect, &summaries)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", e.ID, err)
@@ -96,10 +110,15 @@ func main() {
 		}
 	case *all:
 		failed := 0
-		for _, e := range experiments.All() {
-			if err := runOne(e, session, collect, &summaries); err != nil {
-				fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", e.ID, err)
+		for _, out := range experiments.RunMatrix(experiments.All(), *parallel, session, collect) {
+			if out.Err != nil {
+				fmt.Fprintf(os.Stderr, "deltasim: %s: %v\n", out.ID, out.Err)
 				failed++
+			} else {
+				fmt.Print(out.Rendered)
+				if collect {
+					summaries = append(summaries, out.Summary)
+				}
 			}
 			fmt.Println()
 		}
@@ -127,46 +146,30 @@ func main() {
 
 // runOne executes an experiment, prints its table, and (when requested)
 // captures the counters its simulations produced.
-func runOne(e experiments.Experiment, session *trace.Session, collect bool, summaries *[]experiments.Summary) error {
-	mark := 0
-	if session != nil {
-		mark = session.Len()
-		curLabel = e.ID
-	}
-	res, err := e.Run()
+func runOne(e experiments.Experiment, rc *experiments.RunCtx, collect bool, summaries *[]experiments.Summary) error {
+	res, err := e.Run(rc)
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.Render(res))
 	if collect {
-		var counters map[string]uint64
-		if session != nil {
-			counters = session.CountersFrom(mark)
-		}
-		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+		*summaries = append(*summaries, experiments.NewSummary(res, rc.Counters()))
 	}
 	return nil
 }
 
 // runChaos runs a configured fault-injection campaign.  Its summary merges
 // the per-run recovery counters with whatever the tracing layer collected.
-func runChaos(cfg experiments.ChaosConfig, session *trace.Session, collect bool, summaries *[]experiments.Summary) error {
-	mark := 0
-	if session != nil {
-		mark = session.Len()
-		curLabel = "chaos"
-	}
-	res, runs, err := experiments.RunChaosCampaign(cfg)
+func runChaos(cfg experiments.ChaosConfig, rc *experiments.RunCtx, collect bool, summaries *[]experiments.Summary) error {
+	res, runs, err := experiments.RunChaosCampaign(cfg, rc)
 	if err != nil {
 		return err
 	}
 	fmt.Print(experiments.Render(res))
 	if collect {
 		counters := experiments.ChaosCounters(runs)
-		if session != nil {
-			for k, v := range session.CountersFrom(mark) {
-				counters[k] += v
-			}
+		for k, v := range rc.Counters() {
+			counters[k] += v
 		}
 		*summaries = append(*summaries, experiments.NewSummary(res, counters))
 	}
@@ -183,13 +186,8 @@ func runChaos(cfg experiments.ChaosConfig, session *trace.Session, collect bool,
 
 // runFig20WithVCD runs the robot scenario ONCE, prints the Figure 20 table,
 // and dumps the schedule waveform from the same run.
-func runFig20WithVCD(path string, session *trace.Session, collect bool, summaries *[]experiments.Summary) error {
-	mark := 0
-	if session != nil {
-		mark = session.Len()
-		curLabel = "fig20"
-	}
-	res, tr, err := experiments.RunFig20()
+func runFig20WithVCD(path string, rc *experiments.RunCtx, collect bool, summaries *[]experiments.Summary) error {
+	res, tr, err := experiments.RunFig20(rc)
 	if err != nil {
 		return err
 	}
@@ -204,11 +202,7 @@ func runFig20WithVCD(path string, session *trace.Session, collect bool, summarie
 	}
 	fmt.Printf("wrote %s: %d trace events\n", path, len(tr))
 	if collect {
-		var counters map[string]uint64
-		if session != nil {
-			counters = session.CountersFrom(mark)
-		}
-		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+		*summaries = append(*summaries, experiments.NewSummary(res, rc.Counters()))
 	}
 	return nil
 }

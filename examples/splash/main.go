@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	kernels := []func(func() socdmmu.Allocator) app.SplashResult{
+	kernels := []func(func() socdmmu.Allocator, ...app.Option) app.SplashResult{
 		app.RunLU, app.RunFFT, app.RunRadix,
 	}
 

@@ -114,7 +114,7 @@ func TestBankerFromManifestAvoidsDeadlock(t *testing.T) {
 
 	for _, tc := range []struct {
 		scenario string
-		run      func(func() app.AvoidanceBackend) app.AvoidanceResult
+		run      func(func() app.AvoidanceBackend, ...app.Option) app.AvoidanceResult
 		avoided  func(app.AvoidanceResult) bool
 	}{
 		{"RunGrantDeadlockScenario", app.RunGrantDeadlockScenario,

@@ -20,7 +20,13 @@ import (
 //   - ranging over a map is an error unless the body is order-insensitive
 //     (index writes, commutative integer accumulation, delete, constant
 //     flag sets), the collected values are sorted later in the same
-//     function, or the statement carries //deltalint:ordered <why>.
+//     function, or the statement carries //deltalint:ordered <why>;
+//   - in the concurrency-bearing packages internal/sim and
+//     internal/campaign, declaring a package-level var is an error unless
+//     it carries //deltalint:global-ok <why>: sims now run on several
+//     goroutines at once (the parallel campaign engine), so any mutable
+//     package state is a data race by construction — this is the lint
+//     fence that keeps the next sim.OnNew from being added.
 func Determinism() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
@@ -41,8 +47,47 @@ func runDeterminism(pass *Pass) (any, error) {
 	for _, file := range pass.Files {
 		checkImports(pass, file)
 		checkFileDeterminism(pass, file)
+		if inGlobalFreeScope(pass.PkgPath) {
+			checkGlobals(pass, file)
+		}
 	}
 	return nil, nil
+}
+
+// inGlobalFreeScope reports whether a package must stay free of package-level
+// vars: the simulator core and the campaign engine, whose code runs on
+// multiple worker goroutines concurrently.
+func inGlobalFreeScope(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "internal/sim") ||
+		strings.HasSuffix(pkgPath, "internal/campaign")
+}
+
+// checkGlobals flags package-level var declarations in global-free packages.
+// Constants are fine (immutable); a var — even one only written at init —
+// is shared mutable state visible to every concurrently-running simulation,
+// exactly the failure mode the old sim.OnNew package hook had.
+func checkGlobals(pass *Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.VAR {
+			continue
+		}
+		if hasDirective(gen.Doc, "deltalint:global-ok") ||
+			directiveAt(pass.Fset, file, gen.Pos(), "deltalint:global-ok") {
+			continue
+		}
+		names := []string{}
+		for _, spec := range gen.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, n := range vs.Names {
+					names = append(names, n.Name)
+				}
+			}
+		}
+		pass.Reportf(gen.Pos(),
+			"package-level var %s in a concurrency-bearing package: sims run on several goroutines at once, so package state races; inject per-Sim state (sim.Hooks / options) or annotate //deltalint:global-ok <why>",
+			strings.Join(names, ", "))
+	}
 }
 
 func checkImports(pass *Pass, file *ast.File) {

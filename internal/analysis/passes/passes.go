@@ -15,7 +15,9 @@
 //   - memlife: checks SoCDMMU alloc/free pairing, double free,
 //     use-after-free of block handles and leak-on-task-exit.
 //   - determinism: enforces the byte-identical-runs contract in simulation
-//     code (no wall clock, no math/rand, no order-sensitive map ranges).
+//     code (no wall clock, no math/rand, no order-sensitive map ranges,
+//     and no package-level vars in internal/sim or internal/campaign —
+//     those packages run on several goroutines at once).
 //   - tracekind: requires switches over module enums (trace.Kind,
 //     fault.Kind, ...) to be exhaustive or carry a default clause.
 //
@@ -27,6 +29,9 @@
 //	//deltalint:ordered <why>      on a map-range statement whose iteration
 //	                               order provably cannot leak into
 //	                               simulation-visible state
+//	//deltalint:global-ok <why>    on a package-level var in internal/sim or
+//	                               internal/campaign that is provably
+//	                               immutable or goroutine-confined
 //	//deltalint:partial <why>      on a switch that deliberately handles a
 //	                               subset of an enum
 //	//deltalint:ceiling <why>      on an acquire or SetCeiling line whose

@@ -34,6 +34,12 @@ func TestDeterminismGolden(t *testing.T) {
 	analysistest.Run(t, testdata(), Determinism(), "internal/determinism")
 }
 
+// The global-free check only applies to the concurrency-bearing packages
+// (internal/sim, internal/campaign), exercised by their own golden trees.
+func TestDeterminismGlobalFreeGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), Determinism(), "internal/sim", "internal/campaign")
+}
+
 func TestTraceKindGolden(t *testing.T) {
 	analysistest.Run(t, testdata(), TraceKind(), "internal/tracekind")
 }

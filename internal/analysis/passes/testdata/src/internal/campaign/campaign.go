@@ -1,0 +1,13 @@
+// Package campaign is golden testdata for the determinism pass's
+// global-free check applied to the worker-pool package: results must flow
+// through caller-owned slots, never package accumulators.
+package campaign
+
+var totalRuns int // want `package-level var totalRuns in a concurrency-bearing package`
+
+// Run records into the racy package counter (what the check exists to
+// prevent) and returns it.
+func Run(n int) int {
+	totalRuns += n
+	return totalRuns
+}

@@ -1,0 +1,32 @@
+// Package sim is golden testdata for the determinism pass's global-free
+// check: the real internal/sim runs on several goroutines at once (the
+// parallel campaign engine), so package-level vars are flagged.
+package sim
+
+// Consts are immutable and always fine.
+const tickQuantum = 4
+
+var onNew func(int) // want `package-level var onNew in a concurrency-bearing package`
+
+// A grouped declaration is reported once, naming every var.
+var ( // want `package-level var hookCount, lastSim in a concurrency-bearing package`
+	hookCount int
+	lastSim   string
+)
+
+// errTooLate is only ever read after init, but the pass cannot prove that
+// in general; immutability is asserted by the directive instead.
+//
+//deltalint:global-ok sentinel error value, assigned once at init and never written again
+var errTooLate = "sim: spawn after drain"
+
+//deltalint:global-ok lookup table, never mutated after package init
+var costTable = [2]int{1, 3}
+
+// Use keeps the declarations referenced.
+func Use() (int, string, string, int) {
+	if onNew != nil {
+		onNew(tickQuantum)
+	}
+	return hookCount, lastSim, errTooLate, costTable[0]
+}

@@ -225,7 +225,7 @@ func TestSplashTable11Shape(t *testing.T) {
 func TestSplashTable12Reductions(t *testing.T) {
 	for _, pair := range []struct {
 		name string
-		run  func(func() socdmmu.Allocator) SplashResult
+		run  func(func() socdmmu.Allocator, ...Option) SplashResult
 	}{
 		{"LU", RunLU}, {"FFT", RunFFT}, {"RADIX", RunRadix},
 	} {

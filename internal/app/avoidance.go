@@ -226,8 +226,8 @@ type AvoidanceWorld struct {
 }
 
 // NewAvoidanceWorld builds a 4-PE world with the standard devices.
-func NewAvoidanceWorld(b AvoidanceBackend) *AvoidanceWorld {
-	s := sim.New()
+func NewAvoidanceWorld(b AvoidanceBackend, opts ...Option) *AvoidanceWorld {
+	s := newScenarioSim(opts)
 	w := &AvoidanceWorld{S: s, K: rtos.NewKernel(s, 4), B: b, devices: sim.StandardDevices(s)}
 	w.tasks = make([]*rtos.Task, 4)
 	w.Audit = claims.NewAudit()
@@ -404,9 +404,9 @@ type AvoidanceResult struct {
 // safely by the avoider.  Returns the Table 7 measurements.
 //
 //deltalint:deadlock-expected the scenario exists to exercise G-dl avoidance
-func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult {
+func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Option) AvoidanceResult {
 	b := mkBackend()
-	w := NewAvoidanceWorld(b)
+	w := NewAvoidanceWorld(b, opts...)
 	for p := 0; p < 4; p++ {
 		b.SetPriority(p, p+1)
 	}
@@ -463,9 +463,9 @@ func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult
 // Table 9 measurements.
 //
 //deltalint:deadlock-expected the scenario exists to exercise R-dl avoidance
-func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend) AvoidanceResult {
+func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Option) AvoidanceResult {
 	b := mkBackend()
-	w := NewAvoidanceWorld(b)
+	w := NewAvoidanceWorld(b, opts...)
 	for p := 0; p < 4; p++ {
 		b.SetPriority(p, p+1)
 	}

@@ -63,8 +63,8 @@ type ChaosWorld struct {
 // re-acquires its locks and re-allocates its buffers from scratch, and
 // allocation failure is absorbed, so a recovery-restarted task replays
 // cleanly.
-func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager) *ChaosWorld {
-	s := sim.New()
+func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, opts ...Option) *ChaosWorld {
+	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 4)
 	locks := mkLocks(k)
 	shorts := locks.(shortLocker)

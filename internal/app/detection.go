@@ -61,8 +61,8 @@ const (
 // deadlock was detected.
 //
 //deltalint:deadlock-expected the scenario exists to exercise the DDU/PDDA
-func RunDetectionScenario(mkDet func() Detector) DetectionResult {
-	s := sim.New()
+func RunDetectionScenario(mkDet func() Detector, opts ...Option) DetectionResult {
+	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 4)
 	devices := sim.StandardDevices(s)
 	det := mkDet()

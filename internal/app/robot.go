@@ -67,8 +67,8 @@ type shortLocker interface {
 // inheritance in software, spin locks in shared memory) or soclc.LockCache
 // (RTOS6, SoCLC with IPCP in hardware).  Everything else is identical, so
 // the deltas of Table 10 come entirely from the lock system.
-func RunRobotScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, wantTrace bool) RobotResult {
-	s := sim.New()
+func RunRobotScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, wantTrace bool, opts ...Option) RobotResult {
+	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 4)
 	locks := mkLocks(k)
 	shorts := locks.(shortLocker)

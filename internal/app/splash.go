@@ -127,10 +127,10 @@ const (
 // RunLU performs the blocked LU decomposition benchmark: the matrix is
 // allocated row-by-row (the paper replaced SPLASH-2's static arrays with
 // dynamic allocation), decomposed in place, and verified against A = L·U.
-func RunLU(mkAlloc func() socdmmu.Allocator) SplashResult {
+func RunLU(mkAlloc func() socdmmu.Allocator, opts ...Option) SplashResult {
 	alloc := mkAlloc()
 	var verified bool
-	total := runBench(func(c *rtos.TaskCtx) {
+	total := runBench(opts, func(c *rtos.TaskCtx) {
 		kc := &kernelCost{c: c}
 		h := &splashHeap{c: c, alloc: alloc}
 		// Allocate the matrix row by row plus a per-phase pivot scratch.
@@ -209,10 +209,10 @@ func RunLU(mkAlloc func() socdmmu.Allocator) SplashResult {
 // RunFFT performs the complex 1D FFT benchmark: data and twiddle tables are
 // allocated in chunks, a radix-2 decimation-in-time FFT runs in place, and
 // the inverse transform verifies the round trip.
-func RunFFT(mkAlloc func() socdmmu.Allocator) SplashResult {
+func RunFFT(mkAlloc func() socdmmu.Allocator, opts ...Option) SplashResult {
 	alloc := mkAlloc()
 	var verified bool
-	total := runBench(func(c *rtos.TaskCtx) {
+	total := runBench(opts, func(c *rtos.TaskCtx) {
 		kc := &kernelCost{c: c}
 		h := &splashHeap{c: c, alloc: alloc}
 		// Data allocated in 128 chunks, twiddles in 64, as the dynamically
@@ -322,10 +322,10 @@ func fft(re, im []float64, inverse bool, kc *kernelCost) {
 // RunRadix performs the integer radix sort benchmark: keys are allocated in
 // chunks, sorted by 8-bit digits with per-pass bucket arrays allocated and
 // freed (the dynamic-allocation port), and verified against sort.Ints.
-func RunRadix(mkAlloc func() socdmmu.Allocator) SplashResult {
+func RunRadix(mkAlloc func() socdmmu.Allocator, opts ...Option) SplashResult {
 	alloc := mkAlloc()
 	var verified bool
-	total := runBench(func(c *rtos.TaskCtx) {
+	total := runBench(opts, func(c *rtos.TaskCtx) {
 		kc := &kernelCost{c: c}
 		h := &splashHeap{c: c, alloc: alloc}
 		const chunkKeys = 1024
@@ -387,8 +387,8 @@ func RunRadix(mkAlloc func() socdmmu.Allocator) SplashResult {
 
 // runBench runs body as a single task on PE0 of a fresh MPSoC and returns
 // the total execution time.
-func runBench(body func(c *rtos.TaskCtx)) sim.Cycles {
-	s := sim.New()
+func runBench(opts []Option, body func(c *rtos.TaskCtx)) sim.Cycles {
+	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 1)
 	k.CreateTask("bench", 0, 1, 0, body)
 	return s.Run()

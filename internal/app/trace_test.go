@@ -8,24 +8,23 @@ import (
 	"deltartos/internal/trace"
 )
 
-// withSession runs fn with every sim it creates wired to a fresh session,
-// restoring the hook afterwards.
-func withSession(t *testing.T, fn func()) *trace.Session {
+// withSession runs fn with a scenario option that wires every sim the
+// scenario creates to a fresh session (per-Sim hook injection — there is no
+// package global to save and restore).
+func withSession(t *testing.T, fn func(opt Option)) *trace.Session {
 	t.Helper()
 	sess := trace.NewSession()
-	prev := sim.OnNew
-	sim.OnNew = func(s *sim.Sim) {
+	hooks := &sim.Hooks{OnNew: func(s *sim.Sim) {
 		s.Rec = sess.NewRecorder("run" + string(rune('0'+sess.Len())))
-	}
-	defer func() { sim.OnNew = prev }()
-	fn()
+	}}
+	fn(WithSimHooks(hooks))
 	return sess
 }
 
 func TestDetectionTraceDeterministic(t *testing.T) {
 	export := func() []byte {
-		sess := withSession(t, func() {
-			RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+		sess := withSession(t, func(opt Option) {
+			RunDetectionScenario(func() Detector { return &SoftwareDetector{} }, opt)
 		})
 		var buf bytes.Buffer
 		if err := sess.WriteChromeTrace(&buf); err != nil {
@@ -40,12 +39,12 @@ func TestDetectionTraceDeterministic(t *testing.T) {
 }
 
 func TestDetectionTraceCrossChecksBus(t *testing.T) {
-	sess := withSession(t, func() {
+	sess := withSession(t, func(opt Option) {
 		d, err := NewHardwareDetector(5, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		RunDetectionScenario(func() Detector { return d })
+		RunDetectionScenario(func() Detector { return d }, opt)
 	})
 	if sess.Len() == 0 {
 		t.Fatal("no simulations recorded")
@@ -68,8 +67,8 @@ func TestDetectionTraceCrossChecksBus(t *testing.T) {
 func TestDetectionCyclesUnchangedByTracing(t *testing.T) {
 	plain := RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
 	var traced DetectionResult
-	withSession(t, func() {
-		traced = RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+	withSession(t, func(opt Option) {
+		traced = RunDetectionScenario(func() Detector { return &SoftwareDetector{} }, opt)
 	})
 	if plain.AppCycles != traced.AppCycles || plain.Invocations != traced.Invocations {
 		t.Errorf("tracing changed the measurement: %+v vs %+v", plain, traced)
@@ -77,8 +76,8 @@ func TestDetectionCyclesUnchangedByTracing(t *testing.T) {
 }
 
 func TestDetectionTraceSeesDeadlockVerdict(t *testing.T) {
-	sess := withSession(t, func() {
-		RunDetectionScenario(func() Detector { return &SoftwareDetector{} })
+	sess := withSession(t, func(opt Option) {
+		RunDetectionScenario(func() Detector { return &SoftwareDetector{} }, opt)
 	})
 	found := false
 	for _, r := range sess.Recorders() {

@@ -1,0 +1,71 @@
+// Package campaign is the deterministic parallel runner behind seed sweeps
+// and the experiments matrix.  A campaign is n independent jobs (one per
+// (seed, config) pair) distributed over a bounded worker pool; every job
+// writes its output into a caller-owned slot keyed by its input index, so
+// merged results come back in input order and a parallel run is
+// byte-identical to a sequential one.
+//
+// Determinism contract: jobs must not share mutable state (the reason
+// sim.OnNew had to become per-Sim hooks), and the runner itself never lets
+// completion order reach the results — the only nondeterminism a worker
+// pool introduces is scheduling, and that is confined to wall-clock time.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when the caller does not specify
+// one: every available core.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes jobs 0..n-1 on a pool of the given width and returns the
+// lowest-index error (or nil).  Jobs store their own results indexed by i,
+// which keeps the merge input-ordered by construction.
+//
+// workers <= 1 runs every job in order on the calling goroutine — the
+// sequential baseline a parallel run must be byte-identical to.  A pool
+// wider than n is trimmed; every job runs exactly once either way.
+func Run(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the same error a sequential run would have hit first, so the
+	// failure surface is deterministic too.
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

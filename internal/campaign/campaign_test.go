@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunMergesInInputOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 37
+		out := make([]int, n)
+		err := Run(n, workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunEveryJobExactlyOnce(t *testing.T) {
+	const n = 100
+	var counts [n]atomic.Int32
+	if err := Run(n, 8, func(i int) error {
+		counts[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Errorf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestRunReportsLowestIndexError(t *testing.T) {
+	errAt := func(fail map[int]bool, workers int) error {
+		return Run(10, workers, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+	}
+	fail := map[int]bool{7: true, 3: true, 9: true}
+	for _, workers := range []int{1, 4} {
+		err := errAt(fail, workers)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want lowest-index job 3", workers, err)
+		}
+	}
+}
+
+func TestRunSequentialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	sentinel := errors.New("stop")
+	err := Run(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 3 {
+		t.Errorf("sequential run executed %d jobs after error, want 3", ran)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(0, 4, func(int) error { t.Error("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Errorf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}

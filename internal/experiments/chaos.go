@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"deltartos/internal/app"
+	"deltartos/internal/campaign"
 	"deltartos/internal/fault"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
@@ -21,8 +22,8 @@ func init() {
 	register(Experiment{
 		ID:    "chaos",
 		Title: "Fault-injection campaign: watchdog recovery over the chaos workload",
-		Run: func() (Result, error) {
-			res, _, err := RunChaosCampaign(DefaultChaosConfig())
+		Run: func(rc *RunCtx) (Result, error) {
+			res, _, err := RunChaosCampaign(DefaultChaosConfig(), rc)
 			return res, err
 		},
 	})
@@ -99,7 +100,8 @@ func chaosLockBuilder(system string) (func(k *rtos.Kernel) soclc.Manager, error)
 }
 
 // RunChaosSeed executes one seeded fault-injection run and classifies it.
-func RunChaosSeed(cfg ChaosConfig, seed uint64) (ChaosRun, error) {
+// hooks (nil = tracing off) are applied to the simulation the run builds.
+func RunChaosSeed(cfg ChaosConfig, seed uint64, hooks *sim.Hooks) (ChaosRun, error) {
 	mk, err := chaosLockBuilder(cfg.System)
 	if err != nil {
 		return ChaosRun{}, err
@@ -109,7 +111,7 @@ func RunChaosSeed(cfg ChaosConfig, seed uint64) (ChaosRun, error) {
 		kinds = AllFaultKinds
 	}
 
-	w := app.BuildChaosScenario(mk)
+	w := app.BuildChaosScenario(mk, app.WithSimHooks(hooks))
 	plan := fault.NewPlan(seed).Randomize(cfg.Faults, kinds, fault.Profile{
 		Tasks:   app.ChaosTaskNames,
 		Devices: []string{"IDCT"},
@@ -208,30 +210,51 @@ func chaosTaskLive(k *rtos.Kernel, name string) bool {
 	return false
 }
 
-// RunChaosCampaign sweeps cfg.Seeds seeds and renders the campaign table.
-// The returned runs back the machine-readable -chaos-report output, and the
+// RunChaosCampaign sweeps cfg.Seeds seeds across rc.Workers() cores and
+// renders the campaign table.  Each seed is an independent job with its own
+// simulation and trace shard; results and shards are merged in seed order,
+// so a parallel campaign is byte-identical to a sequential one.  The
+// returned runs back the machine-readable -chaos-report output, and the
 // Result's notes carry the survived/recovered/degraded/wedged totals.
-func RunChaosCampaign(cfg ChaosConfig) (Result, []ChaosRun, error) {
+func RunChaosCampaign(cfg ChaosConfig, rc *RunCtx) (Result, []ChaosRun, error) {
 	if cfg.Seeds <= 0 {
 		return Result{}, nil, fmt.Errorf("chaos: need at least one seed")
 	}
+	runs := make([]ChaosRun, cfg.Seeds)
+	shards := make([]*RunCtx, cfg.Seeds)
+	err := campaign.Run(cfg.Seeds, rc.Workers(), func(i int) error {
+		seed := cfg.BaseSeed + uint64(i)
+		shard := rc.Shard(fmt.Sprintf(".seed%d", seed))
+		shards[i] = shard
+		run, err := RunChaosSeed(cfg, seed, shard.SimHooks())
+		if err != nil {
+			return err
+		}
+		runs[i] = run
+		return nil
+	})
+	if err != nil {
+		return Result{}, nil, err
+	}
+	if rc != nil && rc.Session != nil {
+		for _, shard := range shards {
+			if shard != nil {
+				rc.Session.Adopt(shard.Session)
+			}
+		}
+	}
+
 	r := Result{
 		ID:    "chaos",
 		Title: fmt.Sprintf("Chaos campaign: %d seeds x %d faults over %s", cfg.Seeds, cfg.Faults, cfg.System),
 		Header: []string{"seed", "outcome", "cycles", "fired", "recov", "restart",
 			"abandon", "locks", "blocks", "latency", "diagnosis"},
 	}
-	var runs []ChaosRun
 	counts := map[string]int{}
 	totalRecov, totalFired := 0, 0
 	var latSum float64
 	latRuns := 0
-	for i := 0; i < cfg.Seeds; i++ {
-		run, err := RunChaosSeed(cfg, cfg.BaseSeed+uint64(i))
-		if err != nil {
-			return Result{}, nil, err
-		}
-		runs = append(runs, run)
+	for _, run := range runs {
 		counts[run.Outcome]++
 		totalRecov += run.Recoveries
 		totalFired += run.Fired

@@ -3,25 +3,17 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"testing"
 
-	"deltartos/internal/sim"
 	"deltartos/internal/trace"
 )
 
 // captureCampaign runs one campaign with tracing attached and returns the
 // marshaled run reports plus the Chrome trace export bytes.
-func captureCampaign(t *testing.T, cfg ChaosConfig) (metrics, traceJSON []byte) {
+func captureCampaign(t *testing.T, cfg ChaosConfig, workers int) (metrics, traceJSON []byte) {
 	t.Helper()
-	session := trace.NewSession()
-	prev := sim.OnNew
-	sim.OnNew = func(s *sim.Sim) {
-		s.Rec = session.NewRecorder(fmt.Sprintf("chaos#%d", session.Len()))
-	}
-	defer func() { sim.OnNew = prev }()
-
-	_, runs, err := RunChaosCampaign(cfg)
+	rc := &RunCtx{Parallel: workers, Session: trace.NewSession(), Label: "chaos"}
+	_, runs, err := RunChaosCampaign(cfg, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +22,7 @@ func captureCampaign(t *testing.T, cfg ChaosConfig) (metrics, traceJSON []byte) 
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := session.WriteChromeTrace(&buf); err != nil {
+	if err := rc.Session.WriteChromeTrace(&buf); err != nil {
 		t.Fatal(err)
 	}
 	return metrics, buf.Bytes()
@@ -42,8 +34,8 @@ func TestChaosCampaignDeterministic(t *testing.T) {
 	cfg := DefaultChaosConfig()
 	cfg.Seeds = 2
 
-	m1, t1 := captureCampaign(t, cfg)
-	m2, t2 := captureCampaign(t, cfg)
+	m1, t1 := captureCampaign(t, cfg, 1)
+	m2, t2 := captureCampaign(t, cfg, 1)
 	if !bytes.Equal(m1, m2) {
 		t.Errorf("same seeds produced different run reports:\n%s\n---\n%s", m1, m2)
 	}
@@ -52,12 +44,59 @@ func TestChaosCampaignDeterministic(t *testing.T) {
 	}
 
 	cfg.BaseSeed += 100
-	m3, t3 := captureCampaign(t, cfg)
+	m3, t3 := captureCampaign(t, cfg, 1)
 	if bytes.Equal(m1, m3) {
 		t.Error("different seeds produced identical run reports")
 	}
 	if bytes.Equal(t1, t3) {
 		t.Error("different seeds produced identical trace exports")
+	}
+}
+
+// The parallel campaign engine must be invisible in the output: any worker
+// count produces byte-identical run reports, counters, and trace exports.
+// This is the acceptance gate for `deltasim -parallel N`.
+func TestChaosCampaignParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = 8
+
+	seqM, seqT := captureCampaign(t, cfg, 1)
+	for _, workers := range []int{2, 4, 32} {
+		parM, parT := captureCampaign(t, cfg, workers)
+		if !bytes.Equal(seqM, parM) {
+			t.Errorf("workers=%d: run reports differ from sequential:\n%s\n---\n%s", workers, seqM, parM)
+		}
+		if !bytes.Equal(seqT, parT) {
+			t.Errorf("workers=%d: trace exports differ from sequential", workers)
+		}
+	}
+}
+
+// Per-seed counters folded through the session must not depend on the worker
+// count either (adoption order is input order, not completion order).
+func TestChaosCampaignParallelCountersMatch(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = 6
+
+	counters := func(workers int) map[string]uint64 {
+		rc := &RunCtx{Parallel: workers, Session: trace.NewSession(), Label: "chaos"}
+		if _, _, err := RunChaosCampaign(cfg, rc); err != nil {
+			t.Fatal(err)
+		}
+		return rc.Counters()
+	}
+	seq := counters(1)
+	par := counters(4)
+	if len(seq) == 0 {
+		t.Fatal("sequential campaign recorded no counters")
+	}
+	for k, v := range seq {
+		if par[k] != v {
+			t.Errorf("counter %s: sequential %d, parallel %d", k, v, par[k])
+		}
+	}
+	if len(par) != len(seq) {
+		t.Errorf("counter sets differ: sequential %d keys, parallel %d", len(seq), len(par))
 	}
 }
 
@@ -67,7 +106,7 @@ func TestChaosCampaignTerminalStates(t *testing.T) {
 	for _, system := range []string{"rtos5", "rtos6"} {
 		cfg := DefaultChaosConfig()
 		cfg.System = system
-		_, runs, err := RunChaosCampaign(cfg)
+		_, runs, err := RunChaosCampaign(cfg, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +136,7 @@ func TestChaosZeroFaultsIsClean(t *testing.T) {
 	cfg := DefaultChaosConfig()
 	cfg.Seeds = 2
 	cfg.Faults = 0
-	_, runs, err := RunChaosCampaign(cfg)
+	_, runs, err := RunChaosCampaign(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +153,7 @@ func TestChaosZeroFaultsIsClean(t *testing.T) {
 func TestChaosCountersFold(t *testing.T) {
 	cfg := DefaultChaosConfig()
 	cfg.Seeds = 2
-	_, runs, err := RunChaosCampaign(cfg)
+	_, runs, err := RunChaosCampaign(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +177,7 @@ func TestChaosCountersFold(t *testing.T) {
 func TestChaosUnknownSystem(t *testing.T) {
 	cfg := DefaultChaosConfig()
 	cfg.System = "rtos9"
-	if _, _, err := RunChaosCampaign(cfg); err == nil {
+	if _, _, err := RunChaosCampaign(cfg, nil); err == nil {
 		t.Error("unknown lock system accepted")
 	}
 }

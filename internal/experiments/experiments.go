@@ -18,11 +18,13 @@ type Result struct {
 	Notes  []string
 }
 
-// Experiment is one registered reproduction target.
+// Experiment is one registered reproduction target.  Run receives the
+// injection context (tracing hooks + worker budget); a nil *RunCtx is
+// valid and means sequential with tracing off.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func() (Result, error)
+	Run   func(rc *RunCtx) (Result, error)
 }
 
 var registry = map[string]Experiment{}

@@ -46,7 +46,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, err := e.Run()
+			res, err := e.Run(nil)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}

@@ -33,7 +33,7 @@ func init() {
 	})
 }
 
-func runExtLivelock() (Result, error) {
+func runExtLivelock(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "ext-livelock",
 		Title:  "25-round starvation tape: denials per scheme",
@@ -139,7 +139,7 @@ func runExtLivelock() (Result, error) {
 	return r, nil
 }
 
-func runExtScale() (Result, error) {
+func runExtScale(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "ext-scale",
 		Title:  "Detection cost scaling: worst-case chain RAG at size NxN",
@@ -168,14 +168,14 @@ func runExtScale() (Result, error) {
 	return r, nil
 }
 
-func runExtParallel() (Result, error) {
+func runExtParallel(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "ext-parallel",
 		Title:  "Parallel RADIX (16K keys) with shared allocator and barriers",
 		Header: []string{"PEs", "allocator", "total cycles", "mgmt cycles", "speedup", "verified"},
 	}
 	for _, pes := range []int{1, 2, 4} {
-		res := app.RunRadixParallel(app.NewSoCDMMUAllocator, pes)
+		res := app.RunRadixParallel(app.NewSoCDMMUAllocator, pes, app.WithSimHooks(rc.SimHooks()))
 		if !res.Verified {
 			return r, fmt.Errorf("parallel radix on %d PEs produced wrong output", pes)
 		}
@@ -185,7 +185,7 @@ func runExtParallel() (Result, error) {
 			fmt.Sprintf("%.2fX", res.Speedup), fmt.Sprint(res.Verified),
 		})
 	}
-	sw := app.RunRadixParallel(app.NewGlibcAllocator, 4)
+	sw := app.RunRadixParallel(app.NewGlibcAllocator, 4, app.WithSimHooks(rc.SimHooks()))
 	if !sw.Verified {
 		return r, fmt.Errorf("parallel radix with software allocator produced wrong output")
 	}

@@ -25,7 +25,7 @@ func init() {
 	register(Experiment{ID: "fig20", Title: "Robot execution trace with IPCP (Figure 20)", Run: runFig20})
 }
 
-func runFig7() (Result, error) {
+func runFig7(rc *RunCtx) (Result, error) {
 	c := delta.BaseMPSoC()
 	c.Name = "example1"
 	c.Subsystems[0].PEs = 3
@@ -51,7 +51,7 @@ func runFig7() (Result, error) {
 	return r, nil
 }
 
-func runFig11() (Result, error) {
+func runFig11(rc *RunCtx) (Result, error) {
 	// The worked 3-resource / 6-process example family of Section 4.2.1.
 	mx := rag.NewMatrix(3, 6)
 	mx.Set(0, 0, rag.Grant)
@@ -74,7 +74,7 @@ func runFig11() (Result, error) {
 	return r, nil
 }
 
-func runFig12() (Result, error) {
+func runFig12(rc *RunCtx) (Result, error) {
 	mx := rag.NewMatrix(3, 6)
 	mx.Set(0, 0, rag.Grant)
 	mx.Set(0, 2, rag.Request)
@@ -109,7 +109,7 @@ func runFig12() (Result, error) {
 	return r, nil
 }
 
-func runFig13() (Result, error) {
+func runFig13(rc *RunCtx) (Result, error) {
 	cfg := ddu.Config{Procs: 3, Resources: 3}
 	nl := ddu.Netlist(cfg)
 	f, err := ddu.Generate(cfg)
@@ -132,7 +132,7 @@ func runFig13() (Result, error) {
 	return r, nil
 }
 
-func runFig14() (Result, error) {
+func runFig14(rc *RunCtx) (Result, error) {
 	sr, err := dau.Synthesize(dau.Config{Procs: 5, Resources: 5})
 	if err != nil {
 		return Result{}, err
@@ -151,7 +151,7 @@ func runFig14() (Result, error) {
 	return r, nil
 }
 
-func runFig15() (Result, error) {
+func runFig15(rc *RunCtx) (Result, error) {
 	// Replay the Table 4 events on a bare graph and show the final RAG that
 	// the DDU sees at detection time.
 	g := rag.NewGraph(4, 4)
@@ -187,14 +187,14 @@ func runFig15() (Result, error) {
 	return r, nil
 }
 
-func runFig16() (Result, error) {
+func runFig16(rc *RunCtx) (Result, error) {
 	hw := app.RunGrantDeadlockScenario(func() app.AvoidanceBackend {
 		b, err := app.NewHardwareAvoidance(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return b
-	})
+	}, app.WithSimHooks(rc.SimHooks()))
 	r := Result{
 		ID:     "fig16",
 		Title:  "G-dl scenario outcome with the DAU",
@@ -208,14 +208,14 @@ func runFig16() (Result, error) {
 	return r, nil
 }
 
-func runFig17() (Result, error) {
+func runFig17(rc *RunCtx) (Result, error) {
 	hw := app.RunRequestDeadlockScenario(func() app.AvoidanceBackend {
 		b, err := app.NewHardwareAvoidance(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return b
-	})
+	}, app.WithSimHooks(rc.SimHooks()))
 	r := Result{
 		ID:     "fig17",
 		Title:  "R-dl scenario outcome with the DAU",
@@ -229,16 +229,16 @@ func runFig17() (Result, error) {
 	return r, nil
 }
 
-func runFig20() (Result, error) {
-	r, _, err := RunFig20()
+func runFig20(rc *RunCtx) (Result, error) {
+	r, _, err := RunFig20(rc)
 	return r, err
 }
 
 // RunFig20 runs the robot scenario once and returns both the rendered
 // Figure 20 excerpt and the full scheduler trace, so callers that also want
 // a waveform dump (deltasim -exp fig20 -vcd) do not re-run the scenario.
-func RunFig20() (Result, []rtos.TraceEvent, error) {
-	res := app.RunRobotScenario(app.NewRTOS6Locks, true)
+func RunFig20(rc *RunCtx) (Result, []rtos.TraceEvent, error) {
+	res := app.RunRobotScenario(app.NewRTOS6Locks, true, app.WithSimHooks(rc.SimHooks()))
 	r := Result{
 		ID:     "fig20",
 		Title:  "Execution trace of task1/task2/task3 under IPCP (first events)",

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"deltartos/internal/campaign"
+	"deltartos/internal/trace"
+)
+
+// MatrixRun is the captured output of one experiment in a matrix sweep:
+// the rendered table text, the machine-readable summary (when collected)
+// and the error, all keyed to the experiment that produced them.
+type MatrixRun struct {
+	ID       string
+	Rendered string
+	Summary  Summary
+	Err      error
+}
+
+// RunMatrix executes the given experiments across a worker pool and merges
+// the outputs in input order, so `deltasim -all -parallel N` prints and
+// exports exactly what `-parallel 1` does.  Each experiment runs with a
+// private trace shard (labels are derived from the experiment id, not from
+// a global counter), and the shards are adopted into session afterwards in
+// input order.  When the matrix itself is parallel, each experiment runs
+// its internal sweeps sequentially — the work is already spread across the
+// pool at matrix granularity.
+func RunMatrix(exps []Experiment, parallel int, session *trace.Session, collect bool) []MatrixRun {
+	outs := make([]MatrixRun, len(exps))
+	shards := make([]*trace.Session, len(exps))
+	inner := parallel
+	if len(exps) > 1 && parallel > 1 {
+		inner = 1
+	}
+	_ = campaign.Run(len(exps), parallel, func(i int) error {
+		e := exps[i]
+		rc := &RunCtx{Parallel: inner, Label: e.ID}
+		if session != nil {
+			rc.Session = trace.NewSession()
+			shards[i] = rc.Session
+		}
+		out := MatrixRun{ID: e.ID}
+		res, err := e.Run(rc)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.Rendered = Render(res)
+			if collect {
+				out.Summary = NewSummary(res, rc.Counters())
+			}
+		}
+		outs[i] = out
+		return nil // errors are per-experiment output, not sweep aborts
+	})
+	if session != nil {
+		for _, sh := range shards {
+			session.Adopt(sh)
+		}
+	}
+	return outs
+}

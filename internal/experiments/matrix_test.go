@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"deltartos/internal/trace"
+)
+
+// matrixExps is a fast cross-section of the registry: a robot figure, a lock
+// table, a detection table and an extension sweep.  Running all of them
+// keeps the byte-identity test meaningful without paying for the full -all
+// matrix on every `go test`.
+func matrixExps(t *testing.T) []Experiment {
+	t.Helper()
+	var exps []Experiment
+	for _, id := range []string{"fig20", "table10", "table45", "ext-scale"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// captureMatrix runs the matrix and flattens everything observable — render
+// order, rendered bytes, summaries, trace export — into one byte witness.
+func captureMatrix(t *testing.T, parallel int) []byte {
+	t.Helper()
+	session := trace.NewSession()
+	var buf bytes.Buffer
+	for _, out := range RunMatrix(matrixExps(t), parallel, session, true) {
+		if out.Err != nil {
+			t.Fatalf("%s: %v", out.ID, out.Err)
+		}
+		buf.WriteString(out.Rendered)
+	}
+	if err := WriteSummaries(&buf, summariesOf(t, parallel)); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func summariesOf(t *testing.T, parallel int) []Summary {
+	t.Helper()
+	var ss []Summary
+	for _, out := range RunMatrix(matrixExps(t), parallel, nil, true) {
+		if out.Err != nil {
+			t.Fatalf("%s: %v", out.ID, out.Err)
+		}
+		ss = append(ss, out.Summary)
+	}
+	return ss
+}
+
+// `deltasim -all -parallel N` must print and export exactly what
+// `-parallel 1` does: the matrix engine merges in input order and labels
+// recorders from experiment ids, never from worker interleaving.
+func TestRunMatrixParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix sweep in -short mode")
+	}
+	seq := captureMatrix(t, 1)
+	for _, workers := range []int{2, 4} {
+		par := captureMatrix(t, workers)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("workers=%d: matrix output differs from sequential (%d vs %d bytes)",
+				workers, len(seq), len(par))
+		}
+	}
+}
+
+// Errors stay attached to the experiment that raised them and do not abort
+// the rest of the matrix.
+func TestRunMatrixKeepsErrorsPerExperiment(t *testing.T) {
+	boom := Experiment{ID: "boom", Title: "always fails",
+		Run: func(rc *RunCtx) (Result, error) { return Result{}, errors.New("boom") }}
+	healthy, found := Find("fig20")
+	if !found {
+		t.Fatal("fig20 not registered")
+	}
+	outs := RunMatrix([]Experiment{boom, healthy}, 2, nil, false)
+	if outs[0].Err == nil {
+		t.Error("failing experiment lost its error")
+	}
+	if outs[1].Err != nil || outs[1].Rendered == "" {
+		t.Errorf("healthy experiment was disturbed by a failing sibling: %+v", outs[1].Err)
+	}
+	if outs[0].ID != "boom" || outs[1].ID != "fig20" {
+		t.Errorf("matrix output out of input order: %s, %s", outs[0].ID, outs[1].ID)
+	}
+}

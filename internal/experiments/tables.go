@@ -35,7 +35,7 @@ var paperTable1 = []struct {
 	{50, 50, 2682, 14142, 96},
 }
 
-func runTable1() (Result, error) {
+func runTable1(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "table1",
 		Title:  "DDU synthesis: lines of Verilog, NAND2 area, worst-case iterations",
@@ -58,7 +58,7 @@ func runTable1() (Result, error) {
 	return r, nil
 }
 
-func runTable2() (Result, error) {
+func runTable2(rc *RunCtx) (Result, error) {
 	sr, err := dau.Synthesize(dau.Config{Procs: 5, Resources: 5})
 	if err != nil {
 		return Result{}, err
@@ -81,7 +81,7 @@ func runTable2() (Result, error) {
 	return r, nil
 }
 
-func runTable3() (Result, error) {
+func runTable3(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "table3",
 		Title:  "Configured RTOS/MPSoCs",
@@ -97,15 +97,16 @@ func runTable3() (Result, error) {
 	return r, nil
 }
 
-func runTable45() (Result, error) {
+func runTable45(rc *RunCtx) (Result, error) {
+	hooks := app.WithSimHooks(rc.SimHooks())
 	hw := app.RunDetectionScenario(func() app.Detector {
 		d, err := app.NewHardwareDetector(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return d
-	})
-	sw := app.RunDetectionScenario(func() app.Detector { return &app.SoftwareDetector{} })
+	}, hooks)
+	sw := app.RunDetectionScenario(func() app.Detector { return &app.SoftwareDetector{} }, hooks)
 	if !hw.DeadlockFound || !sw.DeadlockFound {
 		return Result{}, fmt.Errorf("detection scenario did not reach deadlock")
 	}
@@ -127,21 +128,22 @@ func runTable45() (Result, error) {
 	return r, nil
 }
 
-func runTable67() (Result, error) {
+func runTable67(rc *RunCtx) (Result, error) {
+	hooks := app.WithSimHooks(rc.SimHooks())
 	hw := app.RunGrantDeadlockScenario(func() app.AvoidanceBackend {
 		b, err := app.NewHardwareAvoidance(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return b
-	})
+	}, hooks)
 	sw := app.RunGrantDeadlockScenario(func() app.AvoidanceBackend {
 		b, err := app.NewSoftwareAvoidance(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return b
-	})
+	}, hooks)
 	if !hw.GDlAvoided || !sw.GDlAvoided {
 		return Result{}, fmt.Errorf("grant deadlock not avoided: hw=%v sw=%v", hw.GDlAvoided, sw.GDlAvoided)
 	}
@@ -162,21 +164,22 @@ func runTable67() (Result, error) {
 	return r, nil
 }
 
-func runTable89() (Result, error) {
+func runTable89(rc *RunCtx) (Result, error) {
+	hooks := app.WithSimHooks(rc.SimHooks())
 	hw := app.RunRequestDeadlockScenario(func() app.AvoidanceBackend {
 		b, err := app.NewHardwareAvoidance(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return b
-	})
+	}, hooks)
 	sw := app.RunRequestDeadlockScenario(func() app.AvoidanceBackend {
 		b, err := app.NewSoftwareAvoidance(5, 5)
 		if err != nil {
 			panic(err)
 		}
 		return b
-	})
+	}, hooks)
 	if !hw.RDlAvoided || !sw.RDlAvoided {
 		return Result{}, fmt.Errorf("request deadlock not avoided: hw=%v sw=%v", hw.RDlAvoided, sw.RDlAvoided)
 	}
@@ -197,9 +200,10 @@ func runTable89() (Result, error) {
 	return r, nil
 }
 
-func runTable10() (Result, error) {
-	sw := app.RunRobotScenario(app.NewRTOS5Locks, false)
-	hw := app.RunRobotScenario(app.NewRTOS6Locks, false)
+func runTable10(rc *RunCtx) (Result, error) {
+	hooks := app.WithSimHooks(rc.SimHooks())
+	sw := app.RunRobotScenario(app.NewRTOS5Locks, false, hooks)
+	hw := app.RunRobotScenario(app.NewRTOS6Locks, false, hooks)
 	r := Result{
 		ID:     "table10",
 		Title:  "Simulation results of the robot application",
@@ -225,14 +229,14 @@ var paperTable11 = map[string][3]float64{ // total, mgmt, pct
 	"RADIX": {694333, 141491, 20.38},
 }
 
-func runTable11() (Result, error) {
+func runTable11(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "table11",
 		Title:  "SPLASH-2 kernels using glibc malloc()/free()",
 		Header: []string{"benchmark", "total", "paper", "mem mgmt", "paper", "% mgmt", "paper"},
 	}
-	for _, run := range []func(func() socdmmu.Allocator) app.SplashResult{app.RunLU, app.RunFFT, app.RunRadix} {
-		res := run(app.NewGlibcAllocator)
+	for _, run := range []func(func() socdmmu.Allocator, ...app.Option) app.SplashResult{app.RunLU, app.RunFFT, app.RunRadix} {
+		res := run(app.NewGlibcAllocator, app.WithSimHooks(rc.SimHooks()))
 		if !res.Verified {
 			return r, fmt.Errorf("%s: kernel output verification failed", res.Benchmark)
 		}
@@ -253,15 +257,16 @@ var paperTable12 = map[string][4]float64{ // total, mgmt, mgmt reduction %, exe 
 	"RADIX": {558347, 5505, 96.10, 19.59},
 }
 
-func runTable12() (Result, error) {
+func runTable12(rc *RunCtx) (Result, error) {
 	r := Result{
 		ID:     "table12",
 		Title:  "SPLASH-2 kernels using the SoCDMMU",
 		Header: []string{"benchmark", "total", "paper", "mgmt", "paper", "mgmt reduction", "paper", "exe reduction", "paper"},
 	}
-	for _, run := range []func(func() socdmmu.Allocator) app.SplashResult{app.RunLU, app.RunFFT, app.RunRadix} {
-		swRes := run(app.NewGlibcAllocator)
-		hwRes := run(app.NewSoCDMMUAllocator)
+	for _, run := range []func(func() socdmmu.Allocator, ...app.Option) app.SplashResult{app.RunLU, app.RunFFT, app.RunRadix} {
+		hooks := app.WithSimHooks(rc.SimHooks())
+		swRes := run(app.NewGlibcAllocator, hooks)
+		hwRes := run(app.NewSoCDMMUAllocator, hooks)
 		if !hwRes.Verified {
 			return r, fmt.Errorf("%s: kernel output verification failed", hwRes.Benchmark)
 		}

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -26,10 +25,11 @@ type Cycles = uint64
 
 // Sim is the simulation kernel.
 type Sim struct {
-	now    Cycles
-	events eventHeap
-	seq    uint64
-	procs  []*Proc
+	now     Cycles
+	events  eventHeap
+	seq     uint64
+	procs   []*Proc
+	drained bool // set when the event queue ran dry inside RunUntil
 	// Bus is the shared system bus all PEs and hardware units sit on.
 	Bus *Bus
 	// Rec, when non-nil, receives cycle-attributed trace events from the
@@ -40,17 +40,46 @@ type Sim struct {
 	Rec *trace.Recorder
 }
 
-// OnNew, when non-nil, is called for every Sim created by New.  The tracing
-// layer uses it to attach a trace.Recorder to every simulation an
-// experiment constructs, however deep inside the run it is built.
-var OnNew func(*Sim)
+// Hooks is per-Sim instrumentation injected at creation time.  It replaces
+// the old package-global OnNew hook: a mutable package variable made
+// concurrently-running Sims racy, so the hook now travels with the
+// campaign/experiment that owns the simulation (see internal/campaign).
+type Hooks struct {
+	// OnNew is called once for every Sim created with these hooks
+	// attached, after the bus exists.  The tracing layer uses it to hang a
+	// trace.Recorder on every simulation an experiment constructs,
+	// however deep inside the run it is built.
+	OnNew func(*Sim)
+}
+
+// Option configures a Sim at creation.
+type Option func(*Sim)
+
+// WithHooks attaches creation hooks.  A nil h (tracing off) is valid and
+// does nothing, so callers thread an optional *Hooks straight through.
+func WithHooks(h *Hooks) Option {
+	return func(s *Sim) {
+		if h != nil && h.OnNew != nil {
+			h.OnNew(s)
+		}
+	}
+}
+
+// Pre-sizing for the hot-path containers: the event queue depth tracks the
+// number of live flows (a few procs plus watchdog deadlines), and waiter
+// lists hold at most the task set of one kernel.  Starting with capacity
+// makes steady-state scheduling allocation-free.
+const (
+	initialEventCap = 128
+	signalWaiterCap = 8
+)
 
 // New creates an empty simulation with a default bus.
-func New() *Sim {
-	s := &Sim{}
+func New(opts ...Option) *Sim {
+	s := &Sim{events: make(eventHeap, 0, initialEventCap)}
 	s.Bus = NewBus(s)
-	if OnNew != nil {
-		OnNew(s)
+	for _, opt := range opts {
+		opt(s)
 	}
 	return s
 }
@@ -64,23 +93,54 @@ type event struct {
 	p   *Proc
 }
 
+// eventHeap is a hand-rolled binary min-heap over (t, seq).  container/heap
+// moves every element through interface{}, which boxes — one allocation per
+// Push — on the hottest path of the simulator (one push+pop per dispatched
+// event).  Inlined sift operations over the concrete slice schedule with
+// zero allocations in steady state (see BenchmarkSimDispatch).
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
+func (h eventHeap) before(i, j int) bool {
+	return h[i].t < h[j].t || (h[i].t == h[j].t && h[i].seq < h[j].seq)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.before(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // clear the vacated slot so the *Proc is GC-able
+	q = q[:n]
+	*h = q
+	for i := 0; ; {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && q.before(r, l) {
+			m = r
+		}
+		if !q.before(m, i) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 type yieldKind int
@@ -120,8 +180,15 @@ const (
 )
 
 // Spawn creates a proc bound to a PE (use -1 for device contexts) whose body
-// starts at the current simulation time.
+// starts at the current simulation time.  Spawning into a simulation whose
+// event queue already drained panics: the proc would silently schedule at
+// the stale final time and never run unless Run were called again.
 func (s *Sim) Spawn(name string, pe int, body func(p *Proc)) *Proc {
+	if s.drained {
+		panic(fmt.Sprintf(
+			"sim: Spawn(%q) into a drained simulation (Run returned at cycle %d): build procs before running, or spawn from a running proc",
+			name, s.now))
+	}
 	p := &Proc{
 		sim:    s,
 		Name:   name,
@@ -141,7 +208,7 @@ func (s *Sim) Spawn(name string, pe int, body func(p *Proc)) *Proc {
 
 func (s *Sim) schedule(p *Proc, t Cycles) {
 	s.seq++
-	heap.Push(&s.events, event{t: t, seq: s.seq, p: p})
+	s.events.push(event{t: t, seq: s.seq, p: p})
 }
 
 // Run processes events until none remain, then returns the final time.
@@ -160,7 +227,7 @@ func (s *Sim) RunUntil(limit Cycles) Cycles {
 		if s.events[0].t > limit {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		if e.p.state == stateDone {
 			continue
 		}
@@ -169,6 +236,9 @@ func (s *Sim) RunUntil(limit Cycles) Cycles {
 		}
 		s.now = e.t
 		s.dispatch(e.p)
+	}
+	if len(s.events) == 0 {
+		s.drained = true
 	}
 	if s.Rec != nil {
 		// Stamp the legacy Bus instrumentation fields into the registry so
@@ -256,9 +326,11 @@ type Signal struct {
 	waiters []*Proc
 }
 
-// NewSignal creates a named signal.
+// NewSignal creates a named signal.  The waiter list starts with capacity:
+// lock and IRQ signals churn constantly in long campaigns, and keeping the
+// backing array avoids re-growing on every contention burst.
 func (s *Sim) NewSignal(name string) *Signal {
-	return &Signal{sim: s, Name: name}
+	return &Signal{sim: s, Name: name, waiters: make([]*Proc, 0, signalWaiterCap)}
 }
 
 // Wait blocks the calling proc until the signal wakes it.
@@ -268,23 +340,31 @@ func (sig *Signal) Wait(p *Proc) {
 }
 
 // WakeOne wakes the longest-waiting proc, returning whether one was woken.
+// The vacated slot is nilled out so a completed Proc (and the goroutine
+// state hanging off it) stays GC-able through long chaos campaigns.
 func (sig *Signal) WakeOne() bool {
 	if len(sig.waiters) == 0 {
 		return false
 	}
 	p := sig.waiters[0]
-	sig.waiters = sig.waiters[1:]
+	n := len(sig.waiters)
+	copy(sig.waiters, sig.waiters[1:])
+	sig.waiters[n-1] = nil
+	sig.waiters = sig.waiters[:n-1]
 	p.wake()
 	return true
 }
 
 // WakeAll wakes every waiter in FIFO order and returns how many were woken.
+// Slots are nilled rather than the slice dropped, keeping the backing array
+// for the next contention burst without pinning the woken Procs.
 func (sig *Signal) WakeAll() int {
 	n := len(sig.waiters)
-	for _, p := range sig.waiters {
+	for i, p := range sig.waiters {
+		sig.waiters[i] = nil
 		p.wake()
 	}
-	sig.waiters = nil
+	sig.waiters = sig.waiters[:0]
 	return n
 }
 
@@ -292,11 +372,16 @@ func (sig *Signal) WakeAll() int {
 func (sig *Signal) Waiters() int { return len(sig.waiters) }
 
 // Remove drops p from the wait list without waking it (used for timeouts and
-// give-up paths).  Reports whether p was waiting.
+// give-up paths).  Reports whether p was waiting.  The vacated tail slot is
+// nilled out so the removed Proc does not stay reachable from the backing
+// array after it completes.
 func (sig *Signal) Remove(p *Proc) bool {
 	for i, w := range sig.waiters {
 		if w == p {
-			sig.waiters = append(sig.waiters[:i], sig.waiters[i+1:]...)
+			n := len(sig.waiters)
+			copy(sig.waiters[i:], sig.waiters[i+1:])
+			sig.waiters[n-1] = nil
+			sig.waiters = sig.waiters[:n-1]
 			return true
 		}
 	}

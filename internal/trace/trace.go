@@ -101,9 +101,18 @@ type Recorder struct {
 	counters map[string]uint64
 }
 
+// eventCap pre-sizes the event buffer: even short scenarios record
+// thousands of bus/service events, and growing from nil re-copies the
+// buffer a dozen times per simulation in a seed sweep.
+const eventCap = 1024
+
 // NewRecorder creates an empty recorder.
 func NewRecorder(label string) *Recorder {
-	return &Recorder{Label: label, counters: map[string]uint64{}}
+	return &Recorder{
+		Label:    label,
+		events:   make([]Event, 0, eventCap),
+		counters: map[string]uint64{},
+	}
 }
 
 // Record appends one event and folds it into the counters registry.
@@ -176,6 +185,18 @@ func (s *Session) NewRecorder(label string) *Recorder {
 
 // Recorders returns the session's recorders in creation order.
 func (s *Session) Recorders() []*Recorder { return s.recorders }
+
+// Adopt appends every recorder of a shard session, preserving the shard's
+// creation order.  Parallel campaigns give each worker job a private shard
+// (sessions are not safe for concurrent NewRecorder) and adopt the shards
+// in input order afterwards, so the merged export is byte-identical to a
+// sequential run.
+func (s *Session) Adopt(shard *Session) {
+	if shard == nil {
+		return
+	}
+	s.recorders = append(s.recorders, shard.recorders...)
+}
 
 // Len returns the number of recorders created so far (used to mark the
 // start of one experiment inside a multi-experiment session).
