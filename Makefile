@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet lint lint-json race bench bench-campaign chaos
+.PHONY: tier1 build test vet lint lint-json race bench bench-campaign bench-fuzz chaos fuzz
 
 # tier1 is the merge gate: everything must build, vet and deltalint clean,
 # and pass the test suite under the race detector.
@@ -37,6 +37,20 @@ bench:
 # and writes BENCH_campaign.json (uploaded as a CI artifact).
 bench-campaign:
 	$(GO) run ./cmd/deltasim -bench-campaign BENCH_campaign.json
+
+# bench-fuzz runs the full-size generative sweep — 8 contention points x
+# 12500 seeds = 1e5 scenarios, every one checked against the standing
+# invariants — and writes the deadlock-probability-vs-contention curve to
+# BENCH_fuzz.json (uploaded as a CI artifact next to BENCH_campaign.json).
+bench-fuzz:
+	$(GO) run ./cmd/deltasim -fuzz -fuzz-seeds 12500 -fuzz-report BENCH_fuzz.json
+
+# fuzz is the generative-scenario smoke: a small seed budget under the race
+# detector with a parallel pool, so the chunked streaming aggregation is
+# exercised concurrently.  The binary exits nonzero if any sampled seed
+# breaks an invariant (PDDA vs oracle, static ⊇ runtime, lint round-trip).
+fuzz:
+	$(GO) run -race ./cmd/deltasim -fuzz -fuzz-seeds 250 -parallel 4
 
 # chaos is the fault-injection smoke: a short seeded campaign on each lock
 # system, under the race detector with a parallel worker pool so the sharded

@@ -9,6 +9,12 @@
 //	deltagen -preset RTOS6 -out out/
 //	deltagen -config myconfig.json -out out/
 //	deltagen -preset RTOS4 -print
+//	deltagen -scenario-seed 42 -scenario-resources 8
+//
+// -scenario-seed switches to the fuzz front end: instead of Verilog it
+// emits one generated lock-acquisition scenario as a self-contained Go
+// package (the exact source the fuzz sweep round-trips through deltalint),
+// for reproducing a seed a sweep flagged.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"path/filepath"
 
 	"deltartos/internal/delta"
+	"deltartos/internal/fuzz"
 )
 
 func main() {
@@ -25,7 +32,18 @@ func main() {
 	config := flag.String("config", "", "JSON configuration file")
 	out := flag.String("out", "", "output directory for generated files")
 	print := flag.Bool("print", false, "print the top file to stdout instead of writing files")
+	scenSeed := flag.Uint64("scenario-seed", 0, "emit the fuzz scenario for this seed as Go source to stdout (0 = off)")
+	scenTasks := flag.Int("scenario-tasks", 0, "with -scenario-seed: override the task count")
+	scenRes := flag.Int("scenario-resources", 0, "with -scenario-seed: override the resource count")
 	flag.Parse()
+
+	if *scenSeed != 0 {
+		if err := emitScenario(*scenSeed, *scenTasks, *scenRes); err != nil {
+			fmt.Fprintln(os.Stderr, "deltagen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg, err := loadConfig(*preset, *config)
 	if err != nil {
@@ -45,6 +63,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "deltagen:", err)
 		os.Exit(1)
 	}
+}
+
+// emitScenario regenerates one fuzz scenario and prints it: the compact
+// program listing as a comment block on stderr-free stdout would garble the
+// Go source, so the listing rides along as comments, followed by the same
+// EmitGo source the sweep's deltalint round-trip analyzes.
+func emitScenario(seed uint64, tasks, resources int) error {
+	cfg := fuzz.DefaultGenConfig()
+	if tasks > 0 {
+		cfg.Tasks = tasks
+	}
+	if resources > 0 {
+		cfg.Resources = resources
+	}
+	sc, err := fuzz.Generate(seed, cfg)
+	if err != nil {
+		return err
+	}
+	st := fuzz.Derive(sc)
+	fmt.Printf("// static lock-order cycle: %v, edges: %d\n//\n", st.HasCycle(), st.Edges())
+	fmt.Print(fuzz.EmitGo(sc, st))
+	return nil
 }
 
 func loadConfig(preset, config string) (*delta.Config, error) {

@@ -11,6 +11,7 @@
 //	deltasim -exp table45 -trace table45.json -metrics table45.metrics.json
 //	deltasim -chaos -chaos-seeds 32 -parallel 8
 //	deltasim -bench-campaign BENCH_campaign.json
+//	deltasim -fuzz -fuzz-seeds 12500 -fuzz-report BENCH_fuzz.json -parallel 8
 //
 // -parallel shards independent runs — the seeds of a -chaos campaign and
 // the experiments of -all — across a worker pool (default: all cores).
@@ -32,6 +33,7 @@ import (
 
 	"deltartos/internal/campaign"
 	"deltartos/internal/experiments"
+	"deltartos/internal/fuzz"
 	"deltartos/internal/rtos"
 	"deltartos/internal/trace"
 )
@@ -52,6 +54,10 @@ func main() {
 	chaosSystem := flag.String("chaos-system", "rtos5", "with -chaos: lock system under test (rtos5 or rtos6)")
 	benchPath := flag.String("bench-campaign", "",
 		"measure the campaign engine (sequential vs parallel wall-clock, dispatch allocs/op), write JSON to this file, and exit")
+	fuzzRun := flag.Bool("fuzz", false, "run the generative scenario sweep (deadlock probability vs contention)")
+	fuzzSeeds := flag.Int("fuzz-seeds", 12500, "with -fuzz: seeds per parameter point (8 points, so the default sweeps 1e5 seeds)")
+	fuzzBaseSeed := flag.Uint64("fuzz-base-seed", 1, "with -fuzz: first seed of the sweep")
+	fuzzReport := flag.String("fuzz-report", "", "with -fuzz: write the machine-readable sweep report (BENCH_fuzz.json) to this file")
 	flag.Parse()
 
 	if *vcdPath != "" && *exp != "fig20" {
@@ -76,6 +82,11 @@ func main() {
 	collect := *metricsPath != ""
 
 	switch {
+	case *fuzzRun:
+		if err := runFuzz(*fuzzSeeds, *fuzzBaseSeed, *fuzzReport, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim: fuzz:", err)
+			os.Exit(1)
+		}
 	case *chaos:
 		cfg := experiments.DefaultChaosConfig()
 		cfg.Seeds = *chaosSeeds
@@ -180,6 +191,39 @@ func runChaos(cfg experiments.ChaosConfig, rc *experiments.RunCtx, collect bool,
 		if run.UnexplainedLeaks > 0 {
 			return fmt.Errorf("seed %d: %d allocation block(s) recovery failed to reclaim", run.Seed, run.UnexplainedLeaks)
 		}
+	}
+	return nil
+}
+
+// runFuzz sweeps the generative scenario engine across the default
+// contention curve and prints one line per parameter point.  The report is
+// a pure function of (seeds, base seed) — worker count never changes a
+// byte — so -fuzz-report output can be diffed across -parallel settings.
+func runFuzz(seedsPerPoint int, baseSeed uint64, reportPath string, parallel int) error {
+	sw := fuzz.DefaultSweep(seedsPerPoint, baseSeed)
+	rc := &experiments.RunCtx{Parallel: parallel}
+	rep, err := experiments.RunFuzzSweep(sw, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fuzz sweep: %d points x %d seeds, base seed %d\n",
+		len(rep.Points), rep.Config.SeedsPerPoint, rep.Config.BaseSeed)
+	fmt.Printf("%-6s %10s %12s %15s %12s %8s\n",
+		"point", "contention", "P(deadlock)", "P(static cyc)", "det.latency", "wedged")
+	for _, p := range rep.Points {
+		fmt.Printf("%-6s %10.2f %12.4f %15.4f %12.1f %8d\n",
+			p.Label, p.Contention, p.DeadlockProbability, p.StaticCycleProbability,
+			p.DetectionLatencyMean, p.Wedged)
+	}
+	if reportPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d parameter points\n", reportPath, len(rep.Points))
 	}
 	return nil
 }

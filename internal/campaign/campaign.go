@@ -27,8 +27,23 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 //
 // workers <= 1 runs every job in order on the calling goroutine — the
 // sequential baseline a parallel run must be byte-identical to.  A pool
-// wider than n is trimmed; every job runs exactly once either way.
+// wider than n is trimmed.
+//
+// Error path: a sequential run stops at its first failure, so the parallel
+// pool must not keep producing side effects past the same point.  Once a
+// job fails, no job with a higher index is started (already-running jobs
+// finish); jobs below the lowest failing index always run, because a skip
+// requires a recorded error at a strictly lower index.  The executed set is
+// therefore {0..f} plus only the jobs that were already in flight when the
+// error landed, and the reported error is the one a sequential run hits.
 func Run(n, workers int, job func(i int) error) error {
+	return run(n, workers, job, nil)
+}
+
+// run is Run plus a hook fired after a job's failure has been recorded
+// (i.e. once the dispatch cutoff is in force).  Tests use the hook to build
+// deterministic schedules pinning the executed set; Run passes nil.
+func run(n, workers int, job func(i int) error, onFail func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -45,6 +60,8 @@ func Run(n, workers int, job func(i int) error) error {
 	}
 	errs := make([]error, n)
 	var next atomic.Int64
+	var failed atomic.Int64
+	failed.Store(int64(n)) // sentinel: no failure recorded
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -55,7 +72,24 @@ func Run(n, workers int, job func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = job(i)
+				// Stop dispatching once an earlier job has failed: a
+				// sequential run would never have reached this job.
+				if int64(i) > failed.Load() {
+					continue
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					// Lower the cutoff to the smallest failing index.
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					if onFail != nil {
+						onFail(i)
+					}
+				}
 			}
 		}()
 	}

@@ -78,6 +78,88 @@ func TestRunSequentialStopsAtFirstError(t *testing.T) {
 	}
 }
 
+// A deterministic schedule pinning the executed set: with two workers, job
+// 0 parks until the pool has recorded job 1's failure (the onFail hook
+// closes the gate), so by the time any worker claims an index >= 2 the
+// dispatch cutoff is provably in force.  The parallel executed set must
+// then equal the sequential one exactly: {0, 1}.
+func TestRunParallelStopsDispatchAfterError(t *testing.T) {
+	sentinel := errors.New("job 1 failed")
+	build := func(gate chan struct{}) (job func(i int) error, executed *[64]atomic.Bool) {
+		executed = new([64]atomic.Bool)
+		job = func(i int) error {
+			executed[i].Store(true)
+			switch i {
+			case 0:
+				<-gate
+				return nil
+			case 1:
+				return sentinel
+			default:
+				return nil
+			}
+		}
+		return job, executed
+	}
+
+	// Sequential baseline: the gate is open up front (job 0 must not park).
+	seqGate := make(chan struct{})
+	close(seqGate)
+	seqJob, seqSet := build(seqGate)
+	if err := Run(64, 1, seqJob); !errors.Is(err, sentinel) {
+		t.Fatalf("sequential err = %v", err)
+	}
+
+	parGate := make(chan struct{})
+	parJob, parSet := build(parGate)
+	err := run(64, 2, parJob, func(i int) {
+		if i == 1 {
+			close(parGate)
+		}
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("parallel err = %v", err)
+	}
+	for i := range seqSet {
+		s, p := seqSet[i].Load(), parSet[i].Load()
+		if s != p {
+			t.Errorf("job %d: sequential executed=%v, parallel executed=%v", i, s, p)
+		}
+		if want := i <= 1; s != want {
+			t.Errorf("job %d: sequential executed=%v, want %v", i, s, want)
+		}
+	}
+}
+
+// Without a constructed schedule, the invariant that must always hold: every
+// job below the lowest failing index runs (none are skipped), the reported
+// error is the sequential one, and jobs are never executed twice.
+func TestRunErrorPathExecutesPrefix(t *testing.T) {
+	const n, fail = 200, 61
+	for _, workers := range []int{2, 4, 16} {
+		var counts [n]atomic.Int32
+		err := Run(n, workers, func(i int) error {
+			counts[i].Add(1)
+			if i >= fail {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != fmt.Sprintf("job %d failed", fail) {
+			t.Errorf("workers=%d: err = %v, want lowest-index job %d", workers, err, fail)
+		}
+		for i := 0; i < n; i++ {
+			got := counts[i].Load()
+			if i <= fail && got != 1 {
+				t.Errorf("workers=%d: job %d ran %d times, want 1", workers, i, got)
+			}
+			if got > 1 {
+				t.Errorf("workers=%d: job %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
 func TestRunZeroJobs(t *testing.T) {
 	if err := Run(0, 4, func(int) error { t.Error("job ran"); return nil }); err != nil {
 		t.Fatal(err)

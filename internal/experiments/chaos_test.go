@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"deltartos/internal/trace"
@@ -171,6 +172,54 @@ func TestChaosCountersFold(t *testing.T) {
 	if c["chaos.faults_fired"]+c["chaos.faults_pending"] != uint64(2*cfg.Faults) {
 		t.Errorf("fired+pending = %d, want %d",
 			c["chaos.faults_fired"]+c["chaos.faults_pending"], 2*cfg.Faults)
+	}
+}
+
+// A fuse short enough that no task reaches a terminal state must still
+// report WHEN the run wedged: the simulation stop time, not cycles=0.
+func TestChaosFullyWedgedRunReportsFuseTime(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Faults = 0
+	cfg.Fuse = 100 // far below the ~38.5k-cycle clean schedule
+	run, err := RunChaosSeed(cfg, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Outcome != "wedged" {
+		t.Fatalf("outcome = %q, want wedged (fuse cuts every task mid-flight)", run.Outcome)
+	}
+	if run.Cycles == 0 {
+		t.Error("fully wedged run reports cycles=0; want the fuse/last-activity time")
+	}
+	if run.Cycles > cfg.Fuse {
+		t.Errorf("cycles = %d beyond the %d-cycle fuse", run.Cycles, cfg.Fuse)
+	}
+}
+
+// When a seed errors mid-campaign, the trace shards of every seed below the
+// failing one are completed work and must be adopted, not silently dropped;
+// shards at or above it are dropped deterministically.
+func TestChaosCampaignAdoptsCompletedShardsOnError(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.Seeds = 5
+	const failIdx = 3
+	failSeed := cfg.BaseSeed + failIdx
+	cfg.failSeed = func(seed uint64) error {
+		if seed >= failSeed {
+			return fmt.Errorf("injected failure at seed %d", seed)
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 4} {
+		rc := &RunCtx{Parallel: workers, Session: trace.NewSession(), Label: "chaos"}
+		_, _, err := RunChaosCampaign(cfg, rc)
+		if err == nil || err.Error() != fmt.Sprintf("injected failure at seed %d", failSeed) {
+			t.Fatalf("workers=%d: err = %v, want injected failure at seed %d", workers, err, failSeed)
+		}
+		if got := rc.Session.Len(); got != failIdx {
+			t.Errorf("workers=%d: session adopted %d shard recorders, want %d (seeds below the failure)",
+				workers, got, failIdx)
+		}
 	}
 }
 

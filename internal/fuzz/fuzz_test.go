@@ -1,0 +1,302 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"deltartos/internal/det"
+	"deltartos/internal/pdda"
+	"deltartos/internal/rag"
+)
+
+// TestGenerateDeterministic: equal (seed, config) pairs yield byte-identical
+// scenarios — the contract everything else (replay, parallel sweeps, witness
+// reproduction) stands on.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, err := Generate(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, a, b)
+		}
+		if EmitGo(a, Derive(a)) != EmitGo(b, Derive(b)) {
+			t.Fatalf("seed %d: emitted Go differs between generations", seed)
+		}
+	}
+}
+
+// TestGeneratorSoundness: every generated program obeys stack discipline —
+// acquires only non-held resources within the depth bound, releases only the
+// innermost held lock, ids in range — and the fault overlay is consistent
+// (Lost matches the locks still held at program end, CrashAt indexes a real
+// op).
+func TestGeneratorSoundness(t *testing.T) {
+	cfgs := []GenConfig{DefaultGenConfig()}
+	tight := DefaultGenConfig()
+	tight.Resources = 4
+	tight.MaxDepth = 3
+	tight.Hotspot = 2
+	tight.PLostRelease = 0.2
+	tight.PCrash = 0.2
+	cfgs = append(cfgs, tight)
+
+	for _, cfg := range cfgs {
+		for seed := uint64(0); seed < 200; seed++ {
+			sc, err := Generate(seed, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sc.Progs) != cfg.Tasks {
+				t.Fatalf("seed %d: %d programs, want %d", seed, len(sc.Progs), cfg.Tasks)
+			}
+			for ti, prog := range sc.Progs {
+				held := map[int]bool{}
+				var stack []int
+				acquires := 0
+				for pc, op := range prog.Ops {
+					if op.Res < 0 || op.Res >= cfg.Resources {
+						t.Fatalf("seed %d task %d op %d: resource %d out of range", seed, ti, pc, op.Res)
+					}
+					if op.Acquire {
+						if held[op.Res] {
+							t.Fatalf("seed %d task %d: re-acquires held q%d", seed, ti, op.Res)
+						}
+						if len(stack) >= cfg.MaxDepth {
+							t.Fatalf("seed %d task %d: nesting depth %d exceeds MaxDepth %d",
+								seed, ti, len(stack)+1, cfg.MaxDepth)
+						}
+						held[op.Res] = true
+						stack = append(stack, op.Res)
+						acquires++
+					} else {
+						// Releases target held locks; with lost releases the
+						// released lock need not be the innermost, but it must
+						// be on the stack.
+						if !held[op.Res] {
+							t.Fatalf("seed %d task %d: releases unheld q%d", seed, ti, op.Res)
+						}
+						held[op.Res] = false
+						found := false
+						for i := len(stack) - 1; i >= 0; i-- {
+							if stack[i] == op.Res {
+								stack = append(stack[:i], stack[i+1:]...)
+								found = true
+								break
+							}
+						}
+						if !found {
+							t.Fatalf("seed %d task %d: release q%d not on stack", seed, ti, op.Res)
+						}
+					}
+				}
+				if acquires > cfg.Ops {
+					t.Fatalf("seed %d task %d: %d acquires, budget %d", seed, ti, acquires, cfg.Ops)
+				}
+				if len(stack) != prog.Lost {
+					t.Fatalf("seed %d task %d: %d locks held at end but Lost=%d",
+						seed, ti, len(stack), prog.Lost)
+				}
+				if prog.CrashAt < -1 || prog.CrashAt >= len(prog.Ops) {
+					t.Fatalf("seed %d task %d: CrashAt=%d with %d ops", seed, ti, prog.CrashAt, len(prog.Ops))
+				}
+			}
+		}
+	}
+}
+
+// TestExecInvariants runs a contended parameter point with the deep oracle
+// on every seed: no PDDA-vs-HasCycle disagreement, no matrix validation
+// failure, no runtime deadlock outside the static cycle prediction, no
+// claim-set escape — and detection latency bounded by the scan period.
+func TestExecInvariants(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.Resources = 6
+	deadlocks := 0
+	for seed := uint64(0); seed < 500; seed++ {
+		sc, err := Generate(seed, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := Derive(sc)
+		res := Exec(sc, st, true)
+		if res.MismatchAt != "" {
+			t.Fatalf("invariant violation: %s\n%s", res.MismatchAt, sc)
+		}
+		if res.Outcome == Deadlocked {
+			deadlocks++
+			lat := res.DetectRound - res.FormRound
+			if lat < 0 || lat >= cfg.DetectEvery {
+				t.Fatalf("seed %d: detection latency %d outside [0,%d)", seed, lat, cfg.DetectEvery)
+			}
+			if res.CycleLen < 2 {
+				// Generated tasks never request a lock they hold, so every
+				// runtime cycle involves at least two processes.
+				t.Fatalf("seed %d: witness cycle of %d processes", seed, res.CycleLen)
+			}
+		}
+		if res.Outcome == FuseExceeded {
+			t.Fatalf("seed %d: fuse exceeded — executor failed to quiesce:\n%s", seed, sc)
+		}
+	}
+	if deadlocks == 0 {
+		t.Fatal("contended point produced no deadlocks; the invariant checks never ran hot")
+	}
+}
+
+// TestPDDAMatchesOracle cross-checks the terminal reduction against the DFS
+// oracle on dense random graphs up to 256x256 — far beyond the shapes the
+// executor produces.
+func TestPDDAMatchesOracle(t *testing.T) {
+	sizes := []struct{ m, n int }{{16, 12}, {64, 64}, {128, 96}, {256, 256}}
+	rng := det.New(0xfacade)
+	for _, sz := range sizes {
+		for i := 0; i < 25; i++ {
+			g := rag.Random(rng, sz.m, sz.n, 0.4, 0.08)
+			if err := g.Matrix().Validate(); err != nil {
+				t.Fatalf("%dx%d #%d: %v", sz.m, sz.n, i, err)
+			}
+			got, _ := pdda.DetectGraph(g)
+			if want := g.HasCycle(); got != want {
+				t.Fatalf("%dx%d #%d: pdda=%v, oracle=%v", sz.m, sz.n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestLintRoundTrip emits scenarios as Go source and checks deltalint's
+// real lockorder and claims passes agree with the direct derivation.
+func TestLintRoundTrip(t *testing.T) {
+	contended := DefaultGenConfig()
+	contended.Resources = 6
+	sparse := DefaultGenConfig()
+	sparse.Tasks = 3
+	sparse.Ops = 2
+	sawCycle, sawAcyclic := false, false
+	for _, cfg := range []GenConfig{contended, sparse} {
+		for seed := uint64(0); seed < 5; seed++ {
+			sc, err := Generate(seed, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := Derive(sc)
+			if st.HasCycle() {
+				sawCycle = true
+			} else {
+				sawAcyclic = true
+			}
+			mismatch, err := LintCheck(sc, st)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if mismatch != "" {
+				t.Fatalf("lint round-trip disagrees: %s\n%s", mismatch, sc)
+			}
+		}
+	}
+	if !sawCycle || !sawAcyclic {
+		t.Fatalf("sample covered only one verdict (cycle=%v acyclic=%v); widen the seed range",
+			sawCycle, sawAcyclic)
+	}
+}
+
+// TestSweepParallelByteIdentical: the full report — counters, histograms,
+// witnesses — is byte-identical at any worker count, and the curve behaves:
+// deadlock probability rises with contention and is bounded above by the
+// static cycle probability at every point.
+func TestSweepParallelByteIdentical(t *testing.T) {
+	low := DefaultGenConfig()
+	low.Resources = 24
+	high := DefaultGenConfig()
+	high.Resources = 6
+	sw := Sweep{
+		Points:      []Point{{Label: "m=24", Gen: low}, {Label: "m=6", Gen: high}},
+		Seeds:       192,
+		BaseSeed:    7,
+		OracleEvery: 8,
+		LintSample:  1,
+		ChunkSize:   32,
+	}
+	var base []byte
+	for _, workers := range []int{1, 3, 8} {
+		rep, err := RunSweep(sw, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = out
+		} else if !bytes.Equal(base, out) {
+			t.Fatalf("workers=%d: report differs from sequential run", workers)
+		}
+	}
+
+	var rep Report
+	if err := json.Unmarshal(base, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Seeds != sw.Seeds {
+			t.Fatalf("point %s aggregated %d seeds, want %d", p.Label, p.Seeds, sw.Seeds)
+		}
+		if p.DeadlockProbability > p.StaticCycleProbability {
+			t.Fatalf("point %s: runtime deadlock probability %.4f exceeds static bound %.4f",
+				p.Label, p.DeadlockProbability, p.StaticCycleProbability)
+		}
+		if p.Mismatches != 0 {
+			t.Fatalf("point %s: %d mismatches: %s", p.Label, p.Mismatches, p.FirstMismatch)
+		}
+		if p.LintChecked != sw.LintSample {
+			t.Fatalf("point %s: lint-checked %d seeds, want %d", p.Label, p.LintChecked, sw.LintSample)
+		}
+	}
+	if rep.Points[1].DeadlockProbability <= rep.Points[0].DeadlockProbability {
+		t.Fatalf("contention curve flat or inverted: P(m=6)=%.4f <= P(m=24)=%.4f",
+			rep.Points[1].DeadlockProbability, rep.Points[0].DeadlockProbability)
+	}
+}
+
+// TestLatBucket pins the power-of-two histogram mapping.
+func TestLatBucket(t *testing.T) {
+	cases := []struct{ lat, bucket int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 16, 17}, {1 << 20, latBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := latBucket(c.lat); got != c.bucket {
+			t.Errorf("latBucket(%d) = %d, want %d", c.lat, got, c.bucket)
+		}
+	}
+}
+
+// TestDefaultSweepShape pins the stock contention axis.
+func TestDefaultSweepShape(t *testing.T) {
+	sw := DefaultSweep(1000, 42)
+	if len(sw.Points) != 8 {
+		t.Fatalf("%d points, want 8", len(sw.Points))
+	}
+	prev := 0.0
+	for _, p := range sw.Points {
+		c := p.Gen.Contention()
+		if c <= prev {
+			t.Fatalf("contention axis not strictly rising at %s: %.3f after %.3f", p.Label, c, prev)
+		}
+		prev = c
+		if err := p.Gen.validate(); err != nil {
+			t.Fatalf("point %s: %v", p.Label, err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Static derivation: the same facts deltalint's lockorder and claims
+// passes infer from Go source, computed directly from a generated
+// scenario's task programs.  The derivation is deliberately independent of
+// both the executor and the source-level passes, so the three can
+// cross-check each other (lint.go round-trips sampled scenarios through
+// the real passes and compares against this).
+
+package fuzz
+
+// Static is the scenario's compile-time view.
+type Static struct {
+	// order[a][b] records the lock-order edge a→b: some task acquires b
+	// while holding a.
+	order [][]bool
+	// claims[t] is task t's maximal claim set: every resource its program
+	// may acquire, ascending (crash points do not shrink it — static
+	// analysis over-approximates).
+	claims [][]int
+	// hasCycle reports a cycle in the lock-order graph — the static
+	// deadlock prediction.  The standing fuzz invariant is runtime
+	// deadlock ⇒ hasCycle (static ⊇ runtime).
+	hasCycle bool
+}
+
+// Derive computes the static view of a scenario.
+func Derive(sc *Scenario) *Static {
+	m := sc.Cfg.Resources
+	st := &Static{order: make([][]bool, m), claims: make([][]int, len(sc.Progs))}
+	for a := range st.order {
+		st.order[a] = make([]bool, m)
+	}
+	held := make([]bool, m)
+	touched := make([]bool, m)
+	for t, prog := range sc.Progs {
+		for r := range held {
+			held[r] = false
+			touched[r] = false
+		}
+		// The static walk follows the program linearly — exactly the
+		// held-set dataflow the lockorder pass runs over task closures.
+		for _, op := range prog.Ops {
+			if op.Acquire {
+				for a := 0; a < m; a++ {
+					if held[a] {
+						st.order[a][op.Res] = true
+					}
+				}
+				held[op.Res] = true
+				touched[op.Res] = true
+			} else {
+				held[op.Res] = false
+			}
+		}
+		for r := 0; r < m; r++ {
+			if touched[r] {
+				st.claims[t] = append(st.claims[t], r)
+			}
+		}
+	}
+	st.hasCycle = orderCycle(st.order)
+	return st
+}
+
+// HasCycle reports whether the lock-order graph predicts a deadlock.
+func (st *Static) HasCycle() bool { return st.hasCycle }
+
+// Claims returns task t's maximal claim set, ascending.
+func (st *Static) Claims(t int) []int { return st.claims[t] }
+
+// Edges counts the lock-order edges.
+func (st *Static) Edges() int {
+	n := 0
+	for _, row := range st.order {
+		for _, e := range row {
+			if e {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// orderCycle is an iterative three-color DFS over the lock-order graph.
+func orderCycle(order [][]bool) bool {
+	m := len(order)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, m)
+	type frame struct{ v, next int }
+	for start := 0; start < m; start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for w := f.next; w < m; w++ {
+				if !order[f.v][w] {
+					continue
+				}
+				f.next = w + 1
+				switch color[w] {
+				case gray:
+					return true
+				case white:
+					color[w] = gray
+					stack = append(stack, frame{w, 0})
+				default: // black: already explored
+					continue
+				}
+				advanced = true
+				break
+			}
+			if !advanced {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}

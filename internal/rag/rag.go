@@ -501,6 +501,72 @@ func (g *Graph) HasCycle() bool {
 	return false
 }
 
+// Cycle returns a witness cycle as the ordered list of processes on it
+// (p_a holds a resource p_b requests, p_b holds one p_c requests, … back to
+// p_a), or nil when the graph is acyclic.  The search order is fixed, so
+// the witness is deterministic for a given graph — the fuzz campaign uses
+// it for cycle-length histograms and mismatch diagnostics.  Cycle is
+// implemented independently of HasCycle so the two can cross-check each
+// other: one is the oracle, the other the witness extractor.
+func (g *Graph) Cycle() []int {
+	// waitsFor[t] lists the holders of resources process t requests,
+	// ascending and deduplicated — the process-only wait-for projection.
+	waitsFor := make([][]int, g.n)
+	for s := 0; s < g.m; s++ {
+		h := g.grantTo[s]
+		if h == -1 {
+			continue
+		}
+		// Note t == h is kept: a process requesting a resource it already
+		// holds is the bipartite cycle p→q→p, and HasCycle reports it, so
+		// the witness must be the 1-cycle [p].
+		for t := 0; t < g.n; t++ {
+			if g.reqs[s][t] {
+				waitsFor[t] = append(waitsFor[t], h)
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	onStack := make([]int, 0, g.n)
+	var dfs func(v int) []int
+	dfs = func(v int) []int {
+		color[v] = gray
+		onStack = append(onStack, v)
+		for _, w := range waitsFor[v] {
+			switch color[w] {
+			case gray:
+				// Back edge: the cycle is the stack suffix starting at w.
+				for i, u := range onStack {
+					if u == w {
+						return append([]int(nil), onStack[i:]...)
+					}
+				}
+			case white:
+				if c := dfs(w); c != nil {
+					return c
+				}
+			}
+		}
+		color[v] = black
+		onStack = onStack[:len(onStack)-1]
+		return nil
+	}
+	for v := 0; v < g.n; v++ {
+		if color[v] == white {
+			onStack = onStack[:0]
+			if c := dfs(v); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
 // DeadlockedProcesses returns the set of processes on or reachable into a
 // cycle, i.e. processes whose wait can never be satisfied.  Computed by
 // repeatedly discarding processes that are not blocked, and resources whose

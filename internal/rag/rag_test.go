@@ -302,6 +302,52 @@ func TestCycleGraphPanics(t *testing.T) {
 	mustPanic(t, func() { CycleGraph(3, 3, 4) })
 }
 
+// Cycle's witness must agree with the HasCycle oracle on random graphs, and
+// the witness must be a real cycle: each process on it requests a resource
+// held by the next.
+func TestCycleWitnessMatchesOracle(t *testing.T) {
+	rng := det.New(7)
+	for i := 0; i < 500; i++ {
+		g := Random(rng, 1+rng.Intn(8), 1+rng.Intn(8), 0.7, 0.25)
+		cyc := g.Cycle()
+		if (cyc != nil) != g.HasCycle() {
+			t.Fatalf("case %d: Cycle=%v but HasCycle=%v\n%s", i, cyc, g.HasCycle(), g.Matrix())
+		}
+		for j, p := range cyc {
+			next := cyc[(j+1)%len(cyc)]
+			found := false
+			for _, s := range g.RequestedBy(p) {
+				if g.Holder(s) == next {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("case %d: witness %v broken at p%d -> p%d\n%s", i, cyc, p+1, next+1, g.Matrix())
+			}
+		}
+	}
+}
+
+func TestCycleWitnessShapes(t *testing.T) {
+	if cyc := Chain(6, 6).Cycle(); cyc != nil {
+		t.Errorf("Chain witness = %v, want nil", cyc)
+	}
+	for k := 2; k <= 6; k++ {
+		cyc := CycleGraph(8, 8, k).Cycle()
+		if len(cyc) != k {
+			t.Errorf("CycleGraph k=%d: witness %v, want length %d", k, cyc, k)
+		}
+	}
+	// Self-request of a held resource is the degenerate 1-cycle.
+	g := NewGraph(1, 1)
+	mustNoErr(t, g.SetGrant(0, 0))
+	g.AddRequest(0, 0)
+	if cyc := g.Cycle(); len(cyc) != 1 || cyc[0] != 0 || !g.HasCycle() {
+		t.Errorf("self-request witness = %v (oracle %v), want [0]", cyc, g.HasCycle())
+	}
+}
+
 func TestDeadlockedProcessesMatchesOracle(t *testing.T) {
 	rng := det.New(42)
 	for i := 0; i < 300; i++ {
