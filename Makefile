@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 build test vet lint lint-json race bench bench-campaign bench-fuzz chaos fuzz
+.PHONY: tier1 build test vet lint lint-json race bench bench-campaign bench-fuzz bench-fuzz-ipc chaos ipc-chaos fuzz fuzz-ipc
 
 # tier1 is the merge gate: everything must build, vet and deltalint clean,
 # and pass the test suite under the race detector.
@@ -13,8 +13,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own static-analysis passes (lockorder, lockpair,
-# claims, ceiling, memlife, determinism, tracekind — see DESIGN.md §8–§9 and
-# `go run ./cmd/deltalint -help`).
+# claims, ceiling, memlife, determinism, tracekind, ipc — see DESIGN.md
+# §8–§9 and §12, and `go run ./cmd/deltalint -help`).
 lint:
 	$(GO) run ./cmd/deltalint ./...
 
@@ -45,12 +45,24 @@ bench-campaign:
 bench-fuzz:
 	$(GO) run ./cmd/deltasim -fuzz -fuzz-seeds 12500 -fuzz-report BENCH_fuzz.json
 
+# bench-fuzz-ipc writes the wedge-probability-vs-message-loss curve — 5 drop
+# points x 12500 random message topologies, each seed re-checked for static
+# flags ⊇ runtime quiescence core — to BENCH_ipc_fuzz.json (CI artifact).
+bench-fuzz-ipc:
+	$(GO) run ./cmd/deltasim -fuzz-ipc -fuzz-seeds 12500 -fuzz-report BENCH_ipc_fuzz.json
+
 # fuzz is the generative-scenario smoke: a small seed budget under the race
 # detector with a parallel pool, so the chunked streaming aggregation is
 # exercised concurrently.  The binary exits nonzero if any sampled seed
 # breaks an invariant (PDDA vs oracle, static ⊇ runtime, lint round-trip).
 fuzz:
 	$(GO) run -race ./cmd/deltasim -fuzz -fuzz-seeds 250 -parallel 4
+
+# fuzz-ipc is the IPC-topology smoke: random lossy message topologies under
+# the race detector, every seed re-checking that the statically flagged task
+# set contains the runtime quiescence core (nonzero exit on any violation).
+fuzz-ipc:
+	$(GO) run -race ./cmd/deltasim -fuzz-ipc -fuzz-seeds 400 -parallel 4
 
 # chaos is the fault-injection smoke: a short seeded campaign on each lock
 # system, under the race detector with a parallel worker pool so the sharded
@@ -60,3 +72,13 @@ fuzz:
 chaos:
 	$(GO) run -race ./cmd/deltasim -chaos -chaos-seeds 3 -parallel 4 -chaos-system rtos5
 	$(GO) run -race ./cmd/deltasim -chaos -chaos-seeds 3 -parallel 4 -chaos-system rtos6
+
+# ipc-chaos is the message-fault smoke: seeded drop/delay/duplicate/jam
+# campaigns on the producer/consumer ring, under the race detector with a
+# parallel pool.  The timeout-hardened ring must never wedge — the binary
+# exits nonzero if the retry/backoff machinery fails its liveness
+# obligation — while the blocking variant is allowed to wedge (that contrast
+# is the point; see DESIGN.md §12).
+ipc-chaos:
+	$(GO) run -race ./cmd/deltasim -ipc-chaos -ipc-chaos-seeds 6 -parallel 4 -ipc-chaos-variant timeout
+	$(GO) run -race ./cmd/deltasim -ipc-chaos -ipc-chaos-seeds 6 -parallel 4 -ipc-chaos-variant blocking

@@ -1,6 +1,6 @@
 // Command deltalint is the project's static-analysis driver.  It runs the
 // passes of internal/analysis/passes — lockorder, lockpair, claims, ceiling,
-// memlife, determinism and tracekind — over the module and prints
+// memlife, determinism, tracekind and ipc — over the module and prints
 // go-vet-style diagnostics:
 //
 //	file:line:col: [pass] message

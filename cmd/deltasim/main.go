@@ -12,6 +12,7 @@
 //	deltasim -chaos -chaos-seeds 32 -parallel 8
 //	deltasim -bench-campaign BENCH_campaign.json
 //	deltasim -fuzz -fuzz-seeds 12500 -fuzz-report BENCH_fuzz.json -parallel 8
+//	deltasim -fuzz-ipc -fuzz-seeds 2000 -fuzz-report BENCH_ipc_fuzz.json -parallel 8
 //
 // -parallel shards independent runs — the seeds of a -chaos campaign and
 // the experiments of -all — across a worker pool (default: all cores).
@@ -52,12 +53,18 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "with -chaos: first seed (run i uses seed+i)")
 	chaosFaults := flag.Int("chaos-faults", 6, "with -chaos: faults injected per run")
 	chaosSystem := flag.String("chaos-system", "rtos5", "with -chaos: lock system under test (rtos5 or rtos6)")
+	ipcChaos := flag.Bool("ipc-chaos", false, "run a message-fault campaign over the producer/consumer ring")
+	ipcChaosSeeds := flag.Int("ipc-chaos-seeds", 8, "with -ipc-chaos: number of seeds to sweep")
+	ipcChaosSeed := flag.Uint64("ipc-chaos-seed", 1, "with -ipc-chaos: first seed (run i uses seed+i)")
+	ipcChaosFaults := flag.Int("ipc-chaos-faults", 6, "with -ipc-chaos: message faults injected per run")
+	ipcChaosVariant := flag.String("ipc-chaos-variant", "timeout", "with -ipc-chaos: ring variant under test (blocking or timeout)")
 	benchPath := flag.String("bench-campaign", "",
 		"measure the campaign engine (sequential vs parallel wall-clock, dispatch allocs/op), write JSON to this file, and exit")
 	fuzzRun := flag.Bool("fuzz", false, "run the generative scenario sweep (deadlock probability vs contention)")
 	fuzzSeeds := flag.Int("fuzz-seeds", 12500, "with -fuzz: seeds per parameter point (8 points, so the default sweeps 1e5 seeds)")
 	fuzzBaseSeed := flag.Uint64("fuzz-base-seed", 1, "with -fuzz: first seed of the sweep")
 	fuzzReport := flag.String("fuzz-report", "", "with -fuzz: write the machine-readable sweep report (BENCH_fuzz.json) to this file")
+	fuzzIPC := flag.Bool("fuzz-ipc", false, "run the generative IPC-topology sweep (wedge probability vs message loss); reuses -fuzz-seeds, -fuzz-base-seed and -fuzz-report")
 	flag.Parse()
 
 	if *vcdPath != "" && *exp != "fig20" {
@@ -82,9 +89,25 @@ func main() {
 	collect := *metricsPath != ""
 
 	switch {
+	case *fuzzIPC:
+		if err := runIPCFuzz(*fuzzSeeds, *fuzzBaseSeed, *fuzzReport, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim: fuzz-ipc:", err)
+			os.Exit(1)
+		}
 	case *fuzzRun:
 		if err := runFuzz(*fuzzSeeds, *fuzzBaseSeed, *fuzzReport, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "deltasim: fuzz:", err)
+			os.Exit(1)
+		}
+	case *ipcChaos:
+		cfg := experiments.DefaultIPCChaosConfig()
+		cfg.Seeds = *ipcChaosSeeds
+		cfg.BaseSeed = *ipcChaosSeed
+		cfg.Faults = *ipcChaosFaults
+		cfg.Variant = *ipcChaosVariant
+		rc := &experiments.RunCtx{Parallel: *parallel, Session: session, Label: "ipc-chaos"}
+		if err := runIPCChaos(cfg, rc, collect, &summaries); err != nil {
+			fmt.Fprintln(os.Stderr, "deltasim: ipc-chaos:", err)
 			os.Exit(1)
 		}
 	case *chaos:
@@ -195,6 +218,33 @@ func runChaos(cfg experiments.ChaosConfig, rc *experiments.RunCtx, collect bool,
 	return nil
 }
 
+// runIPCChaos runs a configured message-fault campaign.  A wedged run on
+// the timeout-hardened variant means the retry machinery failed its
+// liveness obligation — that is a bug, not a fault outcome, so the campaign
+// itself fails (this is what `make ipc-chaos` gates on in CI).
+func runIPCChaos(cfg experiments.IPCChaosConfig, rc *experiments.RunCtx, collect bool, summaries *[]experiments.Summary) error {
+	res, runs, err := experiments.RunIPCChaosCampaign(cfg, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.Render(res))
+	if collect {
+		counters := experiments.IPCChaosCounters(runs)
+		for k, v := range rc.Counters() {
+			counters[k] += v
+		}
+		*summaries = append(*summaries, experiments.NewSummary(res, counters))
+	}
+	if cfg.Variant == "timeout" {
+		for _, run := range runs {
+			if run.Outcome == "wedged" {
+				return fmt.Errorf("seed %d: timeout variant wedged (%s)", run.Seed, run.Diagnosis)
+			}
+		}
+	}
+	return nil
+}
+
 // runFuzz sweeps the generative scenario engine across the default
 // contention curve and prints one line per parameter point.  The report is
 // a pure function of (seeds, base seed) — worker count never changes a
@@ -214,6 +264,39 @@ func runFuzz(seedsPerPoint int, baseSeed uint64, reportPath string, parallel int
 		fmt.Printf("%-6s %10.2f %12.4f %15.4f %12.1f %8d\n",
 			p.Label, p.Contention, p.DeadlockProbability, p.StaticCycleProbability,
 			p.DetectionLatencyMean, p.Wedged)
+	}
+	if reportPath != "" {
+		out, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(reportPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d parameter points\n", reportPath, len(rep.Points))
+	}
+	return nil
+}
+
+// runIPCFuzz sweeps random message topologies across the default drop-rate
+// curve and prints one line per parameter point.  Every seed re-checks that
+// the statically flagged task set contains the runtime quiescence core; a
+// single violation fails the sweep with a witness.
+func runIPCFuzz(seedsPerPoint int, baseSeed uint64, reportPath string, parallel int) error {
+	sw := fuzz.DefaultIPCSweep(seedsPerPoint, baseSeed)
+	rc := &experiments.RunCtx{Parallel: parallel}
+	rep, err := experiments.RunIPCFuzzSweep(sw, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ipc fuzz sweep: %d points x %d seeds, base seed %d\n",
+		len(rep.Points), rep.Config.SeedsPerPoint, rep.Config.BaseSeed)
+	fmt.Printf("%-10s %10s %15s %10s %13s %9s %10s\n",
+		"point", "P(wedge)", "P(static flag)", "mean core", "mean flagged", "dropped", "completed")
+	for _, p := range rep.Points {
+		fmt.Printf("%-10s %10.4f %15.4f %10.2f %13.2f %9d %10d\n",
+			p.Label, p.WedgeProbability, p.StaticFlagProbability,
+			p.MeanCoreTasks, p.MeanFlaggedTasks, p.DroppedSends, p.Completed)
 	}
 	if reportPath != "" {
 		out, err := rep.JSON()

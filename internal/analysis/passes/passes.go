@@ -1,4 +1,4 @@
-// Package passes implements the seven deltalint analyzers:
+// Package passes implements the eight deltalint analyzers:
 //
 //   - lockorder: builds the static lock-order graph across the tasks of
 //     each scenario and reports potential deadlock cycles — the static
@@ -20,6 +20,11 @@
 //     those packages run on several goroutines at once).
 //   - tracekind: requires switches over module enums (trace.Kind,
 //     fault.Kind, ...) to be exhaustive or carry a default clause.
+//   - ipc: matches blocking IPC operations (recv, event wait, rendezvous
+//     send) across the tasks of each scenario MPI-style and reports
+//     send/recv cycles, blocking ops with no counterparty, and tasks
+//     cascading behind already-flagged ones — the static mirror of the
+//     runtime IPC deadlock core (see DESIGN.md §12).
 //
 // Findings can be acknowledged in source with comment directives:
 //
@@ -38,6 +43,9 @@
 //	                               ceiling situation is intentional
 //	//deltalint:memlife <why>      on an allocation whose lifetime is
 //	                               managed outside the analyzable scope
+//	//deltalint:ipc-expected <why> on a scenario function whose message
+//	                               topology is intentionally fragile (the
+//	                               chaos-campaign rings)
 package passes
 
 import (
@@ -57,7 +65,7 @@ type (
 
 // All returns the full deltalint analyzer set in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind()}
+	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind(), IPC()}
 }
 
 // hasDirective reports whether a comment group contains the given

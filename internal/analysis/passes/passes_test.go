@@ -44,6 +44,50 @@ func TestTraceKindGolden(t *testing.T) {
 	analysistest.Run(t, testdata(), TraceKind(), "internal/tracekind")
 }
 
+func TestIPCGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), IPC(), "internal/ipc")
+}
+
+// The ipc result must include findings suppressed by
+// //deltalint:ipc-expected, and its per-scope flagged set must cover every
+// task a wedge could capture — that is what the static-vs-runtime
+// cross-check consumes.
+func TestIPCResultKeepsExpectedFindings(t *testing.T) {
+	results := analysistest.Run(t, testdata(), IPC(), "internal/ipc")
+	res, ok := results["internal/ipc"].(*IPCResult)
+	if !ok {
+		t.Fatalf("ipc result has type %T, want *IPCResult", results["internal/ipc"])
+	}
+	byScope := map[string]IPCScopeReport{}
+	for _, s := range res.Scopes {
+		byScope[s.Scope] = s
+	}
+
+	exp, ok := byScope["ExpectedFragile"]
+	if !ok {
+		t.Fatal("ExpectedFragile missing from the result despite its suppressed cycle")
+	}
+	if !exp.Expected {
+		t.Error("ExpectedFragile not marked Expected")
+	}
+	if got := strings.Join(exp.Flagged, ","); got != "ea,eb" {
+		t.Errorf("ExpectedFragile flagged = %s, want ea,eb", got)
+	}
+
+	if got := strings.Join(byScope["CascadeMonitor"].Flagged, ","); got != "a,b,mon" {
+		t.Errorf("CascadeMonitor flagged = %s, want a,b,mon (cycle plus cascade)", got)
+	}
+	if got := strings.Join(byScope["RendezvousCycle"].Flagged, ","); got != "left,right" {
+		t.Errorf("RendezvousCycle flagged = %s, want left,right", got)
+	}
+
+	for _, clean := range []string{"MatchedPipeline", "BoundedVariants", "MatchedEvents", "SelfFeeder"} {
+		if s, ok := byScope[clean]; ok {
+			t.Errorf("%s reported findings on a clean topology: %+v", clean, s.Findings)
+		}
+	}
+}
+
 // The lockorder result must include cycles suppressed by
 // //deltalint:deadlock-expected — that is what the static-vs-runtime
 // cross-check (internal/app) consumes.

@@ -10,8 +10,8 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "table45", "table67", "table89",
 		"table10", "table11", "table12",
 		"fig7", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig20",
-		"ext-scale", "ext-parallel", "ext-livelock", "ext-fuzz",
-		"chaos",
+		"ext-scale", "ext-parallel", "ext-livelock", "ext-fuzz", "ext-ipc-fuzz",
+		"chaos", "ipc-chaos",
 	}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {

@@ -18,6 +18,11 @@ func init() {
 		Title: "Extension: generative scenario fuzzing — deadlock probability vs contention",
 		Run:   runExtFuzz,
 	})
+	register(Experiment{
+		ID:    "ext-ipc-fuzz",
+		Title: "Extension: generative IPC-topology fuzzing — wedge probability vs message loss",
+		Run:   runExtIPCFuzz,
+	})
 }
 
 func runExtFuzz(rc *RunCtx) (Result, error) {
@@ -50,6 +55,35 @@ func runExtFuzz(rc *RunCtx) (Result, error) {
 	return r, nil
 }
 
+func runExtIPCFuzz(rc *RunCtx) (Result, error) {
+	r := Result{
+		ID:     "ext-ipc-fuzz",
+		Title:  "2000 seeds/point, matched message topologies, drop probability swept",
+		Header: []string{"point", "P(wedge)", "P(static flag)", "mean core", "mean flagged", "dropped", "completed"},
+	}
+	sw := fuzz.DefaultIPCSweep(2000, 0x1bc5eed)
+	rep, err := RunIPCFuzzSweep(sw, rc)
+	if err != nil {
+		return r, err
+	}
+	for _, p := range rep.Points {
+		r.Rows = append(r.Rows, []string{
+			p.Label,
+			fmt.Sprintf("%.3f", p.WedgeProbability),
+			fmt.Sprintf("%.3f", p.StaticFlagProbability),
+			f2(p.MeanCoreTasks),
+			f2(p.MeanFlaggedTasks),
+			fmt.Sprintf("%d", p.DroppedSends),
+			fmt.Sprintf("%d", p.Completed),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"every task in a run's quiescence core is statically flagged (ipc static ⊇ runtime core), checked on every seed.",
+		"P(static flag) >= P(wedge) at every point: a wedged run has a non-empty core, and cores are contained.",
+	)
+	return r, nil
+}
+
 // RunFuzzSweep executes a fuzz sweep under the experiment context's worker
 // budget and re-checks the standing report invariants.  The deltasim -fuzz
 // path shares it so the flag and the registered experiment cannot drift.
@@ -66,6 +100,28 @@ func RunFuzzSweep(sw fuzz.Sweep, rc *RunCtx) (*fuzz.Report, error) {
 		if p.DeadlockProbability > p.StaticCycleProbability {
 			return rep, fmt.Errorf("point %s: runtime deadlock probability %.4f exceeds the static bound %.4f",
 				p.Label, p.DeadlockProbability, p.StaticCycleProbability)
+		}
+	}
+	return rep, nil
+}
+
+// RunIPCFuzzSweep executes an IPC-topology sweep under the experiment
+// context's worker budget and re-checks the standing report invariants.
+// The deltasim -fuzz-ipc path shares it so the flag and the registered
+// experiment cannot drift.
+func RunIPCFuzzSweep(sw fuzz.IPCSweep, rc *RunCtx) (*fuzz.IPCReport, error) {
+	rep, err := fuzz.RunIPCSweep(sw, rc.Workers())
+	if err != nil {
+		return rep, err
+	}
+	for _, p := range rep.Points {
+		if p.Violations > 0 {
+			return rep, fmt.Errorf("point %s: %d core-containment violation(s); first: %s",
+				p.Label, p.Violations, p.FirstViolation)
+		}
+		if p.WedgeProbability > p.StaticFlagProbability {
+			return rep, fmt.Errorf("point %s: wedge probability %.4f exceeds the static bound %.4f",
+				p.Label, p.WedgeProbability, p.StaticFlagProbability)
 		}
 	}
 	return rep, nil

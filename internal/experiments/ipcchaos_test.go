@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"deltartos/internal/fault"
+	"deltartos/internal/trace"
+)
+
+// The robustness claim, pinned: under a message-drop-only fault mix the
+// blocking ring demonstrably wedges on some seeds, while the timeout/retry
+// variant has zero wedged runs across the same sweep.
+func TestIPCChaosDropSweepBlockingWedgesTimeoutNever(t *testing.T) {
+	cfg := DefaultIPCChaosConfig()
+	cfg.Seeds = 24
+	cfg.Faults = 8
+	cfg.Kinds = []fault.Kind{fault.MsgDrop}
+
+	cfg.Variant = "blocking"
+	_, blocking, err := RunIPCChaosCampaign(cfg, &RunCtx{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedged := 0
+	for _, run := range blocking {
+		if run.Outcome == "wedged" {
+			wedged++
+			if len(run.Core) == 0 {
+				t.Errorf("seed %d: wedged without a latched IPC deadlock core (%s)",
+					run.Seed, run.Diagnosis)
+			}
+		}
+	}
+	if wedged == 0 {
+		t.Error("blocking ring never wedged under message drops; the sweep proves nothing")
+	}
+
+	cfg.Variant = "timeout"
+	_, hardened, err := RunIPCChaosCampaign(cfg, &RunCtx{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range hardened {
+		if run.Outcome == "wedged" {
+			t.Errorf("seed %d: timeout variant wedged (%s)", run.Seed, run.Diagnosis)
+		}
+	}
+}
+
+// Every latched core task must be one the scenario actually declares — the
+// core names feed the static cross-check, so junk here would poison it.
+func TestIPCChaosCoreNamesAreScenarioTasks(t *testing.T) {
+	cfg := DefaultIPCChaosConfig()
+	cfg.Variant = "blocking"
+	cfg.Seeds = 12
+	cfg.Faults = 8
+	cfg.Kinds = []fault.Kind{fault.MsgDrop, fault.QueueStuckFull}
+	_, runs, err := RunIPCChaosCampaign(cfg, &RunCtx{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, n := range []string{"ring0", "ring1", "ring2", "ring3", "ringmon"} {
+		known[n] = true
+	}
+	for _, run := range runs {
+		for _, name := range run.Core {
+			if !known[name] {
+				t.Errorf("seed %d: core names unknown task %q", run.Seed, name)
+			}
+		}
+	}
+}
+
+// Parallel width must never change a byte of the campaign report or its
+// trace export.
+func TestIPCChaosParallelDeterminism(t *testing.T) {
+	capture := func(workers int) ([]byte, []byte) {
+		cfg := DefaultIPCChaosConfig()
+		cfg.Seeds = 6
+		cfg.Variant = "blocking"
+		rc := &RunCtx{Parallel: workers, Session: trace.NewSession(), Label: "ipc-chaos"}
+		_, runs, err := RunIPCChaosCampaign(cfg, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := json.Marshal(runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rc.Session.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return m, buf.Bytes()
+	}
+	m1, t1 := capture(1)
+	m4, t4 := capture(4)
+	if !bytes.Equal(m1, m4) {
+		t.Errorf("worker count changed the run reports:\n%s\n---\n%s", m1, m4)
+	}
+	if !bytes.Equal(t1, t4) {
+		t.Error("worker count changed the trace export")
+	}
+}
+
+func TestIPCChaosUnknownVariant(t *testing.T) {
+	cfg := DefaultIPCChaosConfig()
+	cfg.Variant = "bogus"
+	if _, _, err := RunIPCChaosCampaign(cfg, &RunCtx{Parallel: 1}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

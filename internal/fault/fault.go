@@ -46,6 +46,17 @@ const (
 	// LeakedBlock loses one SoCDMMU G_dealloc command: the task believes it
 	// freed the block, the allocation table keeps it (a leak).
 	LeakedBlock
+	// MsgDrop silently discards one IPC send: the sender sees success, the
+	// message never arrives.
+	MsgDrop
+	// MsgDelay holds one IPC send in flight for Extra cycles before
+	// delivering it; the sender returns immediately.
+	MsgDelay
+	// MsgDup delivers one queue send twice (a retransmission artifact).
+	MsgDup
+	// QueueStuckFull jams a queue — senders see it full — for Extra cycles
+	// from the armed cycle.
+	QueueStuckFull
 )
 
 // String names the kind (used in trace event names).
@@ -65,6 +76,14 @@ func (k Kind) String() string {
 		return "bus-stall"
 	case LeakedBlock:
 		return "leaked-block"
+	case MsgDrop:
+		return "msg-drop"
+	case MsgDelay:
+		return "msg-delay"
+	case MsgDup:
+		return "msg-dup"
+	case QueueStuckFull:
+		return "queue-stuck-full"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -72,12 +91,13 @@ func (k Kind) String() string {
 // Fault is one scheduled fault.  The zero Lock value targets lock 0; use
 // AnyLock (or Randomize) for wildcard matching.
 type Fault struct {
-	Kind   Kind
-	Task   string     // target task name ("" = first eligible task)
-	Lock   int        // long-lock id for LostRelease (AnyLock = any)
-	Device string     // device name for SpuriousIRQ
-	At     sim.Cycles // armed from this cycle on
-	Extra  sim.Cycles // overrun stretch / bus-stall duration
+	Kind     Kind
+	Task     string     // target task name ("" = first eligible task)
+	Lock     int        // long-lock id for LostRelease (AnyLock = any)
+	Device   string     // device name for SpuriousIRQ
+	Endpoint string     // IPC endpoint name for message faults ("" = any)
+	At       sim.Cycles // armed from this cycle on
+	Extra    sim.Cycles // overrun stretch / bus-stall / delay / jam duration
 
 	fired   bool
 	firedAt sim.Cycles
@@ -124,9 +144,10 @@ func (p *Plan) Len() int { return len(p.faults) }
 
 // Profile describes the scenario surface Randomize draws targets from.
 type Profile struct {
-	Tasks   []string   // task names faults may target
-	Devices []string   // device names SpuriousIRQ may target
-	Horizon sim.Cycles // arm cycles are uniform in [0, Horizon)
+	Tasks     []string   // task names faults may target
+	Devices   []string   // device names SpuriousIRQ may target
+	Endpoints []string   // IPC endpoint names message faults may target
+	Horizon   sim.Cycles // arm cycles are uniform in [0, Horizon)
 }
 
 // Randomize appends n faults drawn from kinds with the plan's seed.  All
@@ -141,6 +162,10 @@ func (p *Plan) Randomize(n int, kinds []Kind, prof Profile) *Plan {
 		if k == SpuriousIRQ && len(prof.Devices) == 0 {
 			k = BusStall // degrade gracefully on device-less scenarios
 		}
+		if len(prof.Endpoints) == 0 &&
+			(k == MsgDrop || k == MsgDelay || k == MsgDup || k == QueueStuckFull) {
+			k = BusStall // degrade gracefully on IPC-less scenarios
+		}
 		f := Fault{Kind: k, Lock: AnyLock, At: sim.Cycles(rng.Uint64()) % prof.Horizon}
 		switch k {
 		case LostRelease, TaskCrash, TaskHang, LeakedBlock:
@@ -152,6 +177,14 @@ func (p *Plan) Randomize(n int, kinds []Kind, prof Profile) *Plan {
 			f.Device = prof.Devices[rng.Intn(len(prof.Devices))]
 		case BusStall:
 			f.Extra = 50 + sim.Cycles(rng.Intn(950))
+		case MsgDrop, MsgDup:
+			f.Endpoint = prof.Endpoints[rng.Intn(len(prof.Endpoints))]
+		case MsgDelay:
+			f.Endpoint = prof.Endpoints[rng.Intn(len(prof.Endpoints))]
+			f.Extra = 1000 + sim.Cycles(rng.Intn(9000))
+		case QueueStuckFull:
+			f.Endpoint = prof.Endpoints[rng.Intn(len(prof.Endpoints))]
+			f.Extra = 2000 + sim.Cycles(rng.Intn(8000))
 		}
 		p.faults = append(p.faults, &f)
 	}
@@ -171,6 +204,7 @@ type LockSystem interface {
 func (p *Plan) Attach(k *rtos.Kernel, locks LockSystem, mem *socdmmu.Unit, devs []*sim.Device) {
 	p.s = k.S
 	k.SetFaultInjector(p)
+	k.SetIPCInjector(p)
 	k.SetMisusePolicy(p.tolerate)
 	if locks != nil {
 		locks.SetInjector(p)
@@ -207,6 +241,24 @@ func (p *Plan) Attach(k *rtos.Kernel, locks LockSystem, mem *socdmmu.Unit, devs 
 				}
 				p.fire(f, dev.Name, pr.Now(), -1)
 				dev.IRQ.WakeAll()
+			})
+		case QueueStuckFull:
+			var q *rtos.Queue
+			for _, qq := range k.Queues() {
+				if f.Endpoint == "" || qq.Name == f.Endpoint {
+					q = qq
+					break
+				}
+			}
+			if q == nil {
+				continue // no such queue in this scenario; fault stays pending
+			}
+			k.S.Spawn(fmt.Sprintf("fault.jam.%d", i), -1, func(pr *sim.Proc) {
+				if f.At > pr.Now() {
+					pr.Delay(f.At - pr.Now())
+				}
+				p.fire(f, q.Name, pr.Now(), int64(f.Extra))
+				q.Jam(f.Extra)
 			})
 		}
 	}
@@ -245,6 +297,45 @@ func (p *Plan) match(k Kind, task string, lock int, now sim.Cycles) *Fault {
 		return f
 	}
 	return nil
+}
+
+// matchEndpoint returns the first armed, unfired fault of the given kind
+// eligible for this (endpoint, sender) at time now.  Plan order, like match.
+func (p *Plan) matchEndpoint(k Kind, endpoint, task string, now sim.Cycles) *Fault {
+	for _, f := range p.faults {
+		if f.fired || f.Kind != k || now < f.At {
+			continue
+		}
+		if f.Endpoint != "" && f.Endpoint != endpoint {
+			continue
+		}
+		if f.Task != "" && f.Task != task {
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// SendFault implements rtos.IPCInjector: consulted once per IPC send, it
+// folds every armed message fault matching (endpoint, sender) into one
+// verdict.  Drop wins outright; delay and duplicate compose.
+func (p *Plan) SendFault(endpoint, task string, now sim.Cycles) rtos.IPCFault {
+	var out rtos.IPCFault
+	if f := p.matchEndpoint(MsgDrop, endpoint, task, now); f != nil {
+		p.fire(f, endpoint, now, -1)
+		out.Drop = true
+		return out
+	}
+	if f := p.matchEndpoint(MsgDelay, endpoint, task, now); f != nil {
+		p.fire(f, endpoint, now, int64(f.Extra))
+		out.Delay = f.Extra
+	}
+	if f := p.matchEndpoint(MsgDup, endpoint, task, now); f != nil {
+		p.fire(f, endpoint, now, -1)
+		out.Dup = true
+	}
+	return out
 }
 
 // CrashNow implements rtos.FaultInjector.

@@ -141,14 +141,34 @@ func (r *Recovery) recoveryBase(pr *sim.Proc) sim.Cycles {
 	return pr.Now()
 }
 
-// selectVictim picks the lowest-priority live task on the suspect's
-// wait-for chain (the suspect itself when it isn't waiting on anything, or
-// when no lock manager is attached).
-func (r *Recovery) selectVictim(suspect *rtos.Task) *rtos.Task {
-	chain := []*rtos.Task{suspect}
-	if r.locks != nil {
-		chain = r.locks.WaitChain(suspect)
+// waitChain walks the mixed wait-for graph from t: the lock manager's
+// holder edges plus the kernel's IPC endpoint edges (blocked receiver ->
+// senders, blocked sender -> receivers, event waiter -> setters).  BFS with
+// deterministic push order; t is always first.
+func (r *Recovery) waitChain(t *rtos.Task) []*rtos.Task {
+	chain := []*rtos.Task{t}
+	seen := map[*rtos.Task]bool{t: true}
+	for i := 0; i < len(chain); i++ {
+		cur := chain[i]
+		var next []*rtos.Task
+		if r.locks != nil {
+			next = append(next, r.locks.WaitChain(cur)...)
+		}
+		next = append(next, r.k.WaitPeers(cur)...)
+		for _, p := range next {
+			if !seen[p] {
+				seen[p] = true
+				chain = append(chain, p)
+			}
+		}
 	}
+	return chain
+}
+
+// selectVictim picks the lowest-priority live task on the suspect's mixed
+// wait-for chain (the suspect itself when it isn't waiting on anything).
+func (r *Recovery) selectVictim(suspect *rtos.Task) *rtos.Task {
+	chain := r.waitChain(suspect)
 	victim := suspect
 	for _, t := range chain {
 		//deltalint:partial dead tasks are skipped; every live state is a victim candidate
@@ -185,17 +205,15 @@ func (r *Recovery) reclaim(t *rtos.Task) {
 // detection monitor).
 func (r *Recovery) Recover(pr *sim.Proc, suspect *rtos.Task) {
 	base := r.recoveryBase(pr)
-	if r.locks != nil {
-		for _, t := range r.locks.WaitChain(suspect) {
-			st := t.State()
-			if (st == rtos.StateDone || st == rtos.StateKilled) && r.holdingCount(t) > 0 {
-				r.Recoveries++
-				r.traceFault(pr.Now(), "recover.reclaim", t.Name)
-				pr.Delay(RecoveryOverheadCycles)
-				r.reclaim(t)
-				r.finish(pr, base)
-				return
-			}
+	for _, t := range r.waitChain(suspect) {
+		st := t.State()
+		if (st == rtos.StateDone || st == rtos.StateKilled) && r.holdingCount(t) > 0 {
+			r.Recoveries++
+			r.traceFault(pr.Now(), "recover.reclaim", t.Name)
+			pr.Delay(RecoveryOverheadCycles)
+			r.reclaim(t)
+			r.finish(pr, base)
+			return
 		}
 	}
 	victim := r.selectVictim(suspect)

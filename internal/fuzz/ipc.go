@@ -1,0 +1,626 @@
+// The IPC-topology dimension: seeded random message-passing scenarios —
+// tasks running straight-line send/recv programs over shared channels
+// (buffered queues and capacity-0 rendezvous points) with a message-loss
+// overlay — executed by a deterministic round-robin scheduler until
+// completion or quiescence.  The standing invariant is the IPC analogue of
+// the lock dimension's static ⊇ runtime contract: every task blocked at
+// quiescence (the abstract IPC deadlock core) must be in the statically
+// derived flagged set of the same scenario.
+//
+// The static derivation is sound by construction for this model.  A task
+// stuck forever on a channel implies either a count deficit on that channel
+// (more blocking demands than effective supply) or a wait edge to another
+// stuck task; following edges inside the finite stuck set ends in a count
+// deficit or a cycle.  So: seed the flag set with count-flagged tasks and
+// tasks on wait-graph cycles, then propagate backwards along wait edges —
+// a task whose blocking op has ANY flagged counterparty may be starved by
+// it.  (The deltalint ipc pass propagates only when ALL counterparties are
+// flagged — a precision choice fit for lint noise, not for a proof
+// obligation; this derivation must never under-approximate.)
+
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"deltartos/internal/campaign"
+	"deltartos/internal/det"
+)
+
+// IPCGenConfig parameterizes the IPC-topology generator at one sweep point.
+type IPCGenConfig struct {
+	// Tasks and Channels size the system.
+	Tasks    int `json:"tasks"`
+	Channels int `json:"channels"`
+	// Ops is the average number of operations per task: the generator emits
+	// Tasks*Ops/2 messages, each one send op in the sender's program and one
+	// recv op in the receiver's.  Message-matched generation keeps the
+	// fault-free baseline mostly completing, so the wedge curve is driven by
+	// the loss overlay and by ordering, not by trivial count imbalance.
+	Ops int `json:"ops"`
+	// PZeroCap is the probability a channel is a capacity-0 rendezvous
+	// point; otherwise its capacity is uniform in [1, MaxCap].
+	PZeroCap float64 `json:"p_zero_cap"`
+	MaxCap   int     `json:"max_cap"`
+	// PDrop marks a send as lost in transit: it completes instantly and
+	// delivers nothing — the generative analogue of the fault injector's
+	// msg-drop.
+	PDrop float64 `json:"p_drop"`
+	// Fuse bounds the scheduler rounds of one run (a safety net; the
+	// round-robin executor quiesces on its own).
+	Fuse int `json:"fuse"`
+}
+
+// DefaultIPCGenConfig is the base parameter point of the IPC sweep.  The
+// topology is kept sparse (channels outnumber tasks, short programs) so the
+// wait graph does not collapse into one all-task component — the static
+// flag set has to discriminate for its containment bound to mean anything.
+func DefaultIPCGenConfig() IPCGenConfig {
+	return IPCGenConfig{
+		Tasks:    5,
+		Channels: 16,
+		Ops:      3,
+		PZeroCap: 0.25,
+		MaxCap:   3,
+		PDrop:    0.1,
+		Fuse:     10_000,
+	}
+}
+
+func (c IPCGenConfig) validate() error {
+	switch {
+	case c.Tasks < 1:
+		return fmt.Errorf("fuzz: ipc: need at least one task")
+	case c.Channels < 1:
+		return fmt.Errorf("fuzz: ipc: need at least one channel")
+	case c.Ops < 1:
+		return fmt.Errorf("fuzz: ipc: need at least one op per task")
+	case c.MaxCap < 1:
+		return fmt.Errorf("fuzz: ipc: need MaxCap >= 1")
+	case c.Fuse < 1:
+		return fmt.Errorf("fuzz: ipc: need a positive round fuse")
+	}
+	return nil
+}
+
+// IPCOp is one instruction of a task's message program.
+type IPCOp struct {
+	Send    bool
+	Ch      int
+	Dropped bool // send only: lost in transit
+}
+
+// IPCScenario is one generated message-passing workload.
+type IPCScenario struct {
+	Seed uint64
+	Cfg  IPCGenConfig
+	Caps []int     // channel capacities; 0 = rendezvous
+	Ops  [][]IPCOp // per-task straight-line programs
+}
+
+// GenerateIPC builds the IPC scenario for one (seed, config) pair.  Equal
+// inputs yield byte-identical scenarios: all randomness flows through one
+// seeded splitmix64 stream drawn in a fixed order.
+func GenerateIPC(seed uint64, cfg IPCGenConfig) (*IPCScenario, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := det.New(seed)
+	sc := &IPCScenario{Seed: seed, Cfg: cfg, Caps: make([]int, cfg.Channels)}
+	for c := range sc.Caps {
+		if rng.Float64() < cfg.PZeroCap {
+			sc.Caps[c] = 0
+		} else {
+			sc.Caps[c] = 1 + rng.Intn(cfg.MaxCap)
+		}
+	}
+	sc.Ops = make([][]IPCOp, cfg.Tasks)
+	msgs := cfg.Tasks * cfg.Ops / 2
+	if msgs < 1 {
+		msgs = 1
+	}
+	for m := 0; m < msgs; m++ {
+		c := rng.Intn(cfg.Channels)
+		s := rng.Intn(cfg.Tasks)
+		r := s
+		if cfg.Tasks > 1 {
+			// Receiver distinct from sender: a task cannot rendezvous with
+			// itself, and self-delivery adds nothing the unit shapes don't
+			// already pin.
+			r = rng.Intn(cfg.Tasks - 1)
+			if r >= s {
+				r++
+			}
+		}
+		sc.Ops[s] = append(sc.Ops[s], IPCOp{Send: true, Ch: c, Dropped: rng.Float64() < cfg.PDrop})
+		sc.Ops[r] = append(sc.Ops[r], IPCOp{Ch: c})
+	}
+	return sc, nil
+}
+
+// IPCStatic is the statically derived over-approximation of which tasks a
+// run of the scenario can leave irreducibly stuck.
+type IPCStatic struct {
+	// Flagged[t] reports whether task t is statically suspect.
+	Flagged []bool
+	// CountFlagged and Cyclic are the seed sets (kept for diagnostics).
+	CountFlagged []bool
+	Cyclic       []bool
+}
+
+// FlagCount returns the number of flagged tasks.
+func (st *IPCStatic) FlagCount() int {
+	n := 0
+	for _, f := range st.Flagged {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// DeriveIPC computes the static flag set of a scenario.
+func DeriveIPC(sc *IPCScenario) *IPCStatic {
+	nT, nC := sc.Cfg.Tasks, sc.Cfg.Channels
+	recvs := make([]int, nC)   // total receive demands per channel
+	effSends := make([]int, nC) // non-dropped sends per channel
+	hasRecv := make([][]bool, nT)
+	hasEffSend := make([][]bool, nT)
+	for t := range sc.Ops {
+		hasRecv[t] = make([]bool, nC)
+		hasEffSend[t] = make([]bool, nC)
+		for _, op := range sc.Ops[t] {
+			if op.Send {
+				if !op.Dropped {
+					effSends[op.Ch]++
+					hasEffSend[t][op.Ch] = true
+				}
+			} else {
+				recvs[op.Ch]++
+				hasRecv[t][op.Ch] = true
+			}
+		}
+	}
+
+	st := &IPCStatic{
+		Flagged:      make([]bool, nT),
+		CountFlagged: make([]bool, nT),
+		Cyclic:       make([]bool, nT),
+	}
+
+	// Count rules: a channel with more blocking demands than supply starves
+	// (or sticks) someone; which task loses depends on ordering, so every
+	// task on the losing side is flagged.
+	for c := 0; c < nC; c++ {
+		if recvs[c] > effSends[c] {
+			for t := 0; t < nT; t++ {
+				if hasRecv[t][c] {
+					st.CountFlagged[t] = true
+				}
+			}
+		}
+		surplus := effSends[c] - recvs[c]
+		if surplus > sc.Caps[c] {
+			for t := 0; t < nT; t++ {
+				if hasEffSend[t][c] {
+					st.CountFlagged[t] = true
+				}
+			}
+		}
+	}
+
+	// Wait edges (self-edges included: a task feeding only itself can park
+	// on its own channel forever).  A receive always waits on the channel's
+	// effective senders; a send waits on the channel's receivers when it can
+	// block at all — any rendezvous send, or a buffered send on a channel
+	// whose effective supply can overrun the capacity.
+	edge := make([][]bool, nT)
+	for t := range edge {
+		edge[t] = make([]bool, nT)
+	}
+	for t := 0; t < nT; t++ {
+		for c := 0; c < nC; c++ {
+			if hasRecv[t][c] {
+				for u := 0; u < nT; u++ {
+					if hasEffSend[u][c] {
+						edge[t][u] = true
+					}
+				}
+			}
+			if hasEffSend[t][c] && effSends[c] > sc.Caps[c] {
+				for u := 0; u < nT; u++ {
+					if hasRecv[u][c] {
+						edge[t][u] = true
+					}
+				}
+			}
+		}
+	}
+
+	// reach[t][u]: u is reachable from t over >= 1 edge (Floyd-Warshall;
+	// task counts are single digits).
+	reach := make([][]bool, nT)
+	for t := range reach {
+		reach[t] = append([]bool(nil), edge[t]...)
+	}
+	for k := 0; k < nT; k++ {
+		for i := 0; i < nT; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < nT; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	for t := 0; t < nT; t++ {
+		st.Cyclic[t] = reach[t][t]
+	}
+
+	// Flag = seed sets plus anything that can reach a seed along wait edges.
+	for t := 0; t < nT; t++ {
+		st.Flagged[t] = st.CountFlagged[t] || st.Cyclic[t]
+		for u := 0; u < nT && !st.Flagged[t]; u++ {
+			if reach[t][u] && (st.CountFlagged[u] || st.Cyclic[u]) {
+				st.Flagged[t] = true
+			}
+		}
+	}
+	return st
+}
+
+// IPCExecResult is one executed run's fixed-size summary.
+type IPCExecResult struct {
+	Outcome Outcome // Completed, Wedged or FuseExceeded (never Deadlocked)
+	Rounds  int
+	// Core lists the tasks blocked at quiescence — irreducibly stuck, since
+	// the executor is deterministic and nothing can ever step again.
+	Core []int
+	// Dropped counts send ops lost in transit.
+	Dropped int
+	// MismatchAt describes the first containment violation ("" = none): a
+	// core task the static derivation did not flag.
+	MismatchAt string
+}
+
+// ExecIPC runs a scenario round-robin to completion or quiescence and checks
+// the core-containment invariant against st.
+func ExecIPC(sc *IPCScenario, st *IPCStatic) IPCExecResult {
+	nT := sc.Cfg.Tasks
+	fill := make([]int, sc.Cfg.Channels)
+	pc := make([]int, nT)
+	done := make([]bool, nT)
+	res := IPCExecResult{}
+
+	running := nT
+	round := 0
+	for running > 0 && round < sc.Cfg.Fuse {
+		round++
+		progress := false
+		for t := 0; t < nT; t++ {
+			if done[t] {
+				continue
+			}
+			if pc[t] >= len(sc.Ops[t]) {
+				done[t] = true
+				running--
+				progress = true
+				continue
+			}
+			op := sc.Ops[t][pc[t]]
+			switch {
+			case op.Send && op.Dropped:
+				// Lost in transit: the sender proceeds, nothing arrives.
+				res.Dropped++
+				pc[t]++
+				progress = true
+			case op.Send && sc.Caps[op.Ch] == 0:
+				// Rendezvous: pair with the lowest-index task parked at a
+				// receive on this channel; both advance.
+				for u := 0; u < nT; u++ {
+					if u == t || done[u] || pc[u] >= len(sc.Ops[u]) {
+						continue
+					}
+					if o := sc.Ops[u][pc[u]]; !o.Send && o.Ch == op.Ch {
+						pc[t]++
+						pc[u]++
+						progress = true
+						break
+					}
+				}
+			case op.Send:
+				if fill[op.Ch] < sc.Caps[op.Ch] {
+					fill[op.Ch]++
+					pc[t]++
+					progress = true
+				}
+			default: // receive
+				if fill[op.Ch] > 0 {
+					fill[op.Ch]--
+					pc[t]++
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	res.Rounds = round
+	for t := 0; t < nT; t++ {
+		if !done[t] && pc[t] < len(sc.Ops[t]) {
+			res.Core = append(res.Core, t)
+		}
+	}
+	switch {
+	case len(res.Core) == 0:
+		res.Outcome = Completed
+	case round >= sc.Cfg.Fuse:
+		res.Outcome = FuseExceeded
+	default:
+		res.Outcome = Wedged
+	}
+	for _, t := range res.Core {
+		if !st.Flagged[t] {
+			res.MismatchAt = fmt.Sprintf(
+				"seed %d: task p%d is in the runtime IPC core but not statically flagged", sc.Seed, t)
+			break
+		}
+	}
+	return res
+}
+
+// IPCPoint is one parameter point of an IPC sweep.
+type IPCPoint struct {
+	Label string
+	Gen   IPCGenConfig
+}
+
+// IPCSweep configures one IPC fuzz campaign.  Point p sweeps seeds
+// BaseSeed+p*Seeds .. BaseSeed+(p+1)*Seeds-1.
+type IPCSweep struct {
+	Points   []IPCPoint
+	Seeds    int
+	BaseSeed uint64
+	// ChunkSize is the streaming-aggregation unit (seeds per campaign job).
+	// 0 defaults to 1024.
+	ChunkSize int
+}
+
+// IPCAgg is the streaming accumulator for one chunk (and, merged, for one
+// point): counters only, no per-seed state.
+type IPCAgg struct {
+	Seeds        int
+	Completed    int
+	Wedged       int
+	FuseExceeded int
+
+	FlaggedRuns  int // runs with a non-empty static flag set
+	CoreSum      int // stuck tasks across wedged runs
+	FlagSum      int // statically flagged tasks across all runs
+	DroppedSum   int
+	RoundsSum    int
+
+	Violations     int
+	FirstViolation string
+}
+
+func (a *IPCAgg) fold(st *IPCStatic, res IPCExecResult) {
+	a.Seeds++
+	//deltalint:partial the IPC executor quiesces or trips the fuse; it never emits Deadlocked (that outcome belongs to the lock-scenario executor)
+	switch res.Outcome {
+	case Completed:
+		a.Completed++
+	case Wedged:
+		a.Wedged++
+	case FuseExceeded:
+		a.FuseExceeded++
+	}
+	if fc := st.FlagCount(); fc > 0 {
+		a.FlaggedRuns++
+		a.FlagSum += fc
+	}
+	a.CoreSum += len(res.Core)
+	a.DroppedSum += res.Dropped
+	a.RoundsSum += res.Rounds
+	if res.MismatchAt != "" {
+		a.Violations++
+		if a.FirstViolation == "" {
+			a.FirstViolation = res.MismatchAt
+		}
+	}
+}
+
+func (a *IPCAgg) merge(b *IPCAgg) {
+	a.Seeds += b.Seeds
+	a.Completed += b.Completed
+	a.Wedged += b.Wedged
+	a.FuseExceeded += b.FuseExceeded
+	a.FlaggedRuns += b.FlaggedRuns
+	a.CoreSum += b.CoreSum
+	a.FlagSum += b.FlagSum
+	a.DroppedSum += b.DroppedSum
+	a.RoundsSum += b.RoundsSum
+	a.Violations += b.Violations
+	if a.FirstViolation == "" {
+		a.FirstViolation = b.FirstViolation
+	}
+}
+
+// IPCReport is the machine-readable IPC sweep output (structs and slices
+// only, so marshaled bytes are worker-count independent).
+type IPCReport struct {
+	Config IPCReportConfig  `json:"config"`
+	Points []IPCPointReport `json:"points"`
+}
+
+// IPCReportConfig echoes the sweep-level knobs.
+type IPCReportConfig struct {
+	SeedsPerPoint int    `json:"seeds_per_point"`
+	BaseSeed      uint64 `json:"base_seed"`
+	ChunkSize     int    `json:"chunk_size"`
+}
+
+// IPCPointReport is one parameter point's aggregate.
+type IPCPointReport struct {
+	Label string       `json:"label"`
+	Gen   IPCGenConfig `json:"gen"`
+	Seeds int          `json:"seeds"`
+
+	Completed    int `json:"completed"`
+	Wedged       int `json:"wedged"`
+	FuseExceeded int `json:"fuse_exceeded"`
+
+	// WedgeProbability vs StaticFlagProbability: static ⊇ runtime means the
+	// latter bounds the former from above at every point (a wedged run has a
+	// non-empty core, and every core task is flagged).
+	WedgeProbability      float64 `json:"wedge_probability"`
+	FlaggedRuns           int     `json:"flagged_runs"`
+	StaticFlagProbability float64 `json:"static_flag_probability"`
+
+	MeanCoreTasks    float64 `json:"mean_core_tasks"`
+	MeanFlaggedTasks float64 `json:"mean_flagged_tasks"`
+	MeanRounds       float64 `json:"mean_rounds"`
+	DroppedSends     int     `json:"dropped_sends"`
+
+	Violations     int    `json:"violations"`
+	FirstViolation string `json:"first_violation,omitempty"`
+}
+
+// JSON marshals the report deterministically (indented, struct field
+// order).
+func (r *IPCReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// RunIPCSweep executes the sweep on a pool of the given width.  Chunk
+// boundaries are fixed by config, not worker count, and chunk accumulators
+// merge per point in input order, so a parallel sweep is byte-identical to
+// a sequential one.  A non-nil error means the core-containment invariant
+// broke; the report is returned alongside so the witness is visible.
+func RunIPCSweep(sw IPCSweep, workers int) (*IPCReport, error) {
+	if len(sw.Points) == 0 {
+		return nil, fmt.Errorf("fuzz: ipc sweep has no parameter points")
+	}
+	if sw.Seeds <= 0 {
+		return nil, fmt.Errorf("fuzz: ipc sweep needs at least one seed per point")
+	}
+	for _, p := range sw.Points {
+		if err := p.Gen.validate(); err != nil {
+			return nil, fmt.Errorf("point %q: %w", p.Label, err)
+		}
+	}
+	chunk := sw.ChunkSize
+	if chunk <= 0 {
+		chunk = 1024
+	}
+
+	type job struct {
+		point  int
+		seedLo uint64
+		count  int
+	}
+	var jobs []job
+	perPoint := make([][]int, len(sw.Points))
+	for p := range sw.Points {
+		base := sw.BaseSeed + uint64(p)*uint64(sw.Seeds)
+		for lo := 0; lo < sw.Seeds; lo += chunk {
+			n := sw.Seeds - lo
+			if n > chunk {
+				n = chunk
+			}
+			perPoint[p] = append(perPoint[p], len(jobs))
+			jobs = append(jobs, job{point: p, seedLo: base + uint64(lo), count: n})
+		}
+	}
+
+	aggs := make([]IPCAgg, len(jobs))
+	err := campaign.Run(len(jobs), workers, func(j int) error {
+		jb := jobs[j]
+		agg := &aggs[j]
+		gen := sw.Points[jb.point].Gen
+		for k := 0; k < jb.count; k++ {
+			sc, err := GenerateIPC(jb.seedLo+uint64(k), gen)
+			if err != nil {
+				return err
+			}
+			st := DeriveIPC(sc)
+			agg.fold(st, ExecIPC(sc, st))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &IPCReport{Config: IPCReportConfig{
+		SeedsPerPoint: sw.Seeds, BaseSeed: sw.BaseSeed, ChunkSize: chunk,
+	}}
+	totalViolations := 0
+	witness := ""
+	for p := range sw.Points {
+		merged := IPCAgg{}
+		for _, j := range perPoint[p] {
+			merged.merge(&aggs[j])
+		}
+		rep.Points = append(rep.Points, ipcPointReport(sw.Points[p], &merged))
+		totalViolations += merged.Violations
+		if witness == "" {
+			witness = merged.FirstViolation
+		}
+	}
+	if totalViolations > 0 {
+		return rep, fmt.Errorf("fuzz: ipc: %d core-containment violation(s); first: %s",
+			totalViolations, witness)
+	}
+	return rep, nil
+}
+
+func ipcPointReport(p IPCPoint, a *IPCAgg) IPCPointReport {
+	pr := IPCPointReport{
+		Label:          p.Label,
+		Gen:            p.Gen,
+		Seeds:          a.Seeds,
+		Completed:      a.Completed,
+		Wedged:         a.Wedged,
+		FuseExceeded:   a.FuseExceeded,
+		FlaggedRuns:    a.FlaggedRuns,
+		DroppedSends:   a.DroppedSum,
+		Violations:     a.Violations,
+		FirstViolation: a.FirstViolation,
+	}
+	if a.Seeds > 0 {
+		n := float64(a.Seeds)
+		pr.WedgeProbability = float64(a.Wedged+a.FuseExceeded) / n
+		pr.StaticFlagProbability = float64(a.FlaggedRuns) / n
+		pr.MeanCoreTasks = float64(a.CoreSum) / n
+		pr.MeanFlaggedTasks = float64(a.FlagSum) / n
+		pr.MeanRounds = float64(a.RoundsSum) / n
+	}
+	return pr
+}
+
+// DefaultIPCSweep is the stock message-loss curve: the drop probability
+// swept upward over a mixed buffered/rendezvous topology, so the wedge
+// probability climbs while the static bound stays above it.
+func DefaultIPCSweep(seedsPerPoint int, baseSeed uint64) IPCSweep {
+	drops := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	sw := IPCSweep{Seeds: seedsPerPoint, BaseSeed: baseSeed}
+	for _, d := range drops {
+		gen := DefaultIPCGenConfig()
+		gen.PDrop = d
+		sw.Points = append(sw.Points, IPCPoint{
+			Label: fmt.Sprintf("drop=%.2f", d),
+			Gen:   gen,
+		})
+	}
+	return sw
+}

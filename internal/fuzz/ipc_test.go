@@ -1,0 +1,192 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGenerateIPCDeterministic(t *testing.T) {
+	cfg := DefaultIPCGenConfig()
+	a, err := GenerateIPC(42, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenerateIPC(42, cfg)
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("task counts differ")
+	}
+	for i := range a.Caps {
+		if a.Caps[i] != b.Caps[i] {
+			t.Fatalf("caps differ at channel %d", i)
+		}
+	}
+	for t2 := range a.Ops {
+		for i := range a.Ops[t2] {
+			if a.Ops[t2][i] != b.Ops[t2][i] {
+				t.Fatalf("op %d of task %d differs", i, t2)
+			}
+		}
+	}
+	c, _ := GenerateIPC(43, cfg)
+	same := true
+	for t2 := range a.Ops {
+		if len(a.Ops[t2]) != len(c.Ops[t2]) {
+			same = false
+			continue
+		}
+		for i := range a.Ops[t2] {
+			if a.Ops[t2][i] != c.Ops[t2][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 generated identical programs")
+	}
+}
+
+// Hand-built topologies pin the static derivation's semantics.
+func TestDeriveIPCShapes(t *testing.T) {
+	base := IPCGenConfig{Tasks: 2, Channels: 2, Ops: 2, MaxCap: 1, Fuse: 100}
+
+	// Cross rendezvous: both send first on capacity-0 channels — a cycle.
+	sc := &IPCScenario{Cfg: base, Caps: []int{0, 0}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0}, {Ch: 1}},
+		{{Send: true, Ch: 1}, {Ch: 0}},
+	}}
+	st := DeriveIPC(sc)
+	if !st.Cyclic[0] || !st.Cyclic[1] || !st.Flagged[0] || !st.Flagged[1] {
+		t.Errorf("cross rendezvous not fully flagged: %+v", st)
+	}
+
+	// Matched buffered pipeline: task 0 sends, task 1 receives, cap 1
+	// suffices — nothing flagged.
+	sc = &IPCScenario{Cfg: base, Caps: []int{1, 1}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0}},
+		{{Ch: 0}},
+	}}
+	if st = DeriveIPC(sc); st.FlagCount() != 0 {
+		t.Errorf("matched pipeline flagged: %+v", st)
+	}
+
+	// Dropped send: the receive's only supply is lost in transit — the
+	// receiver is count-flagged even though the topology looks matched.
+	sc = &IPCScenario{Cfg: base, Caps: []int{1, 1}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0, Dropped: true}},
+		{{Ch: 0}},
+	}}
+	st = DeriveIPC(sc)
+	if !st.CountFlagged[1] || !st.Flagged[1] {
+		t.Errorf("drop-starved receiver not flagged: %+v", st)
+	}
+	if st.Flagged[0] {
+		t.Errorf("sender of a dropped message wrongly flagged: %+v", st)
+	}
+
+	// Self-feeder that receives before its own send: a self-edge cycle.
+	sc = &IPCScenario{Cfg: IPCGenConfig{Tasks: 1, Channels: 1, Ops: 2, MaxCap: 1, Fuse: 100},
+		Caps: []int{1}, Ops: [][]IPCOp{
+			{{Ch: 0}, {Send: true, Ch: 0}},
+		}}
+	st = DeriveIPC(sc)
+	if !st.Cyclic[0] || !st.Flagged[0] {
+		t.Errorf("self-feeder not flagged: %+v", st)
+	}
+}
+
+func TestExecIPCWedgeAndCore(t *testing.T) {
+	base := IPCGenConfig{Tasks: 2, Channels: 2, Ops: 2, MaxCap: 1, Fuse: 100}
+	sc := &IPCScenario{Cfg: base, Caps: []int{0, 0}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0}, {Ch: 1}},
+		{{Send: true, Ch: 1}, {Ch: 0}},
+	}}
+	st := DeriveIPC(sc)
+	res := ExecIPC(sc, st)
+	if res.Outcome != Wedged {
+		t.Fatalf("cross rendezvous outcome %v, want wedged", res.Outcome)
+	}
+	if len(res.Core) != 2 {
+		t.Fatalf("core %v, want both tasks", res.Core)
+	}
+	if res.MismatchAt != "" {
+		t.Fatalf("containment violated: %s", res.MismatchAt)
+	}
+
+	// Rendezvous pairing drains a matched pair.
+	sc = &IPCScenario{Cfg: base, Caps: []int{0, 0}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0}},
+		{{Ch: 0}},
+	}}
+	st = DeriveIPC(sc)
+	if res = ExecIPC(sc, st); res.Outcome != Completed {
+		t.Fatalf("matched rendezvous outcome %v, want completed", res.Outcome)
+	}
+}
+
+// The acceptance-criterion sweep: >= 1e4 seeds of random IPC topologies, the
+// static flag set containing the runtime core on every one of them, with
+// both outcomes represented and the static bound non-vacuous.
+func TestIPCSweepContainmentAtScale(t *testing.T) {
+	sw := DefaultIPCSweep(2100, 0x1bc5eed)
+	rep, err := RunIPCSweep(sw, 4)
+	if err != nil {
+		t.Fatalf("containment broke: %v", err)
+	}
+	totalSeeds, wedged, completed := 0, 0, 0
+	for _, p := range rep.Points {
+		totalSeeds += p.Seeds
+		wedged += p.Wedged
+		completed += p.Completed
+		if p.FuseExceeded > 0 {
+			t.Errorf("point %s: %d runs hit the fuse; the executor should quiesce", p.Label, p.FuseExceeded)
+		}
+		if p.WedgeProbability > p.StaticFlagProbability {
+			t.Errorf("point %s: wedge probability %.4f exceeds the static bound %.4f",
+				p.Label, p.WedgeProbability, p.StaticFlagProbability)
+		}
+		if p.MeanFlaggedTasks > 0.9*float64(p.Gen.Tasks) {
+			t.Errorf("point %s: mean flagged tasks %.2f of %d — the static set barely discriminates",
+				p.Label, p.MeanFlaggedTasks, p.Gen.Tasks)
+		}
+	}
+	if totalSeeds < 10_000 {
+		t.Fatalf("swept %d seeds, want >= 1e4", totalSeeds)
+	}
+	if wedged == 0 {
+		t.Error("no run wedged; the containment check proved nothing")
+	}
+	if completed == 0 {
+		t.Error("no run completed; the generator only builds broken topologies")
+	}
+}
+
+// Worker count must never change a byte of the report.
+func TestIPCSweepParallelDeterminism(t *testing.T) {
+	sw := DefaultIPCSweep(600, 7)
+	sw.ChunkSize = 128
+	r1, err := RunIPCSweep(sw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunIPCSweep(sw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := r1.JSON()
+	j8, _ := r8.JSON()
+	if !bytes.Equal(j1, j8) {
+		t.Errorf("worker count changed the report:\n%s\n---\n%s", j1, j8)
+	}
+}
+
+func TestIPCSweepValidation(t *testing.T) {
+	if _, err := RunIPCSweep(IPCSweep{}, 1); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := RunIPCSweep(IPCSweep{Points: []IPCPoint{{Label: "x"}}, Seeds: 1}, 1); err == nil {
+		t.Error("invalid gen config accepted")
+	}
+	if _, err := GenerateIPC(1, IPCGenConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}

@@ -1,7 +1,131 @@
 package rtos
 
 // IPC primitives of Atalanta v0.3 (Section 2.1): mailboxes (single-slot),
-// message queues (bounded FIFO) and event flag groups.
+// message queues (bounded FIFO, capacity 0 = synchronous rendezvous) and
+// event flag groups.
+//
+// Every primitive participates in the kernel's wait-for graph (waitfor.go):
+// it remembers which tasks have used (or were declared on) each side of the
+// endpoint, so a blocked receiver's potential wakers are the endpoint's
+// senders and vice versa.  Blocking operations come in unbounded and
+// deadline-bounded flavors (Send/SendTimeout, Recv/RecvTimeout,
+// Wait/WaitTimeout); the bounded ones are the raw material of the
+// retry/backoff policies in retry.go.  Message sends consult the kernel's
+// IPC fault injector (drop / delay / duplicate in flight), and queues can be
+// jammed into reporting full (the stuck-full fault).
+
+import (
+	"fmt"
+
+	"deltartos/internal/sim"
+	"deltartos/internal/trace"
+)
+
+// noDeadline marks an unbounded blocking operation (sim.Cycles is unsigned,
+// so the all-ones value doubles as "never").
+const noDeadline = ^sim.Cycles(0)
+
+// IPCFault describes the manipulation an injector applies to one message
+// send.  The zero value is "deliver normally".
+type IPCFault struct {
+	// Drop loses the message in flight: the sender continues as if it
+	// delivered, nothing arrives.
+	Drop bool
+	// Dup delivers the message twice (queues only; meaningless on a
+	// single-slot mailbox).
+	Dup bool
+	// Delay holds the message in flight for this many cycles before
+	// delivering it from a non-task context.  The sender does not block.
+	Delay sim.Cycles
+}
+
+// IPCInjector is consulted once per message send on a mailbox or queue when
+// attached (fault campaigns).  Implementations must be deterministic
+// functions of their arguments and their own seeded state.
+type IPCInjector interface {
+	SendFault(endpoint, task string, now sim.Cycles) IPCFault
+}
+
+// SetIPCInjector attaches a message fault injector to the kernel (nil
+// detaches).
+func (k *Kernel) SetIPCInjector(fi IPCInjector) { k.ipcInj = fi }
+
+// sendFault consults the attached injector for one send on endpoint ep.
+func (k *Kernel) sendFault(ep string, t *Task) IPCFault {
+	if k.ipcInj == nil {
+		return IPCFault{}
+	}
+	return k.ipcInj.SendFault(ep, t.Name, k.S.Now())
+}
+
+// ipcTrace records one IPC trace event and bumps the per-endpoint counter.
+// Zero overhead when tracing is off (nil recorder).
+func (k *Kernel) ipcTrace(t *Task, op, endpoint string) {
+	if r := k.S.Rec; r != nil {
+		r.Record(trace.Event{
+			Cycle: k.S.Now(), PE: t.PE, Proc: t.Name,
+			Kind: trace.KindIPC, Name: "ipc." + op, Arg: -1, Verdict: endpoint,
+		})
+		r.Count("ipc."+op+"."+endpoint, 1)
+	}
+}
+
+// peerSet remembers, in first-use order, the tasks observed (or declared via
+// Bind*) on one side of an endpoint — the potential wakers of the opposite
+// side.  Sets stay tiny (a handful of tasks per endpoint), so linear scans
+// beat maps and keep iteration deterministic.
+type peerSet struct{ tasks []*Task }
+
+func (ps *peerSet) add(t *Task) {
+	for _, x := range ps.tasks {
+		if x == t {
+			return
+		}
+	}
+	ps.tasks = append(ps.tasks, t)
+}
+
+// others returns every member except t, in first-use order.
+func (ps *peerSet) others(t *Task) []*Task {
+	out := make([]*Task, 0, len(ps.tasks))
+	for _, x := range ps.tasks {
+		if x != t {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func taskIn(ws []*Task, t *Task) bool {
+	for _, w := range ws {
+		if w == t {
+			return true
+		}
+	}
+	return false
+}
+
+// armWakeup schedules a one-shot timer that re-readies the task at deadline
+// if it is still blocked then.  The timer is guarded by the task's sleep
+// generation; cancelWakeup (or any later Sleep/Compute/Restart) invalidates
+// it.  Callers MUST cancel on every non-unwind exit path: a stale timer
+// firing into a later unrelated block would steal that block's wakeup.
+func (c *TaskCtx) armWakeup(deadline sim.Cycles) {
+	t := c.t
+	t.gen++
+	g := t.gen
+	c.k.S.Spawn(fmt.Sprintf("ipcto.%s.%d", t.Name, g), -1, func(tp *sim.Proc) {
+		if deadline > tp.Now() {
+			tp.Delay(deadline - tp.Now())
+		}
+		if t.gen == g && t.state == StateBlocked {
+			c.k.makeReady(t)
+		}
+	})
+}
+
+// cancelWakeup invalidates any timer armed by armWakeup.
+func (c *TaskCtx) cancelWakeup() { c.t.gen++ }
 
 // Mailbox is a single-slot message box: Send blocks while full, Recv blocks
 // while empty.
@@ -12,8 +136,13 @@ type Mailbox struct {
 	full    bool
 	readers []*Task
 	writers []*Task
+
+	senders   peerSet // tasks observed/declared on the sending side
+	receivers peerSet // tasks observed/declared on the receiving side
+	inFlight  int     // fault-delayed deliveries not yet landed
+
 	// Instrumentation.
-	Sends, Recvs int
+	Sends, Recvs, Timeouts, Dropped, Delayed int
 }
 
 // NewMailbox creates an empty mailbox.
@@ -23,68 +152,189 @@ func (k *Kernel) NewMailbox(name string) *Mailbox {
 	return m
 }
 
-// purgeTask drops a killed task from both wait queues (Kernel.Kill).
+// BindSender declares t a sender on this mailbox without an operation having
+// been observed yet (scenario topology declarations for the wait-for graph).
+func (m *Mailbox) BindSender(t *Task) { m.senders.add(t) }
+
+// BindReceiver declares t a receiver on this mailbox.
+func (m *Mailbox) BindReceiver(t *Task) { m.receivers.add(t) }
+
+// purgeTask drops a killed task from both wait queues (Kernel.Kill).  If the
+// victim had already been chosen as the wakee of a hand-off (popped from a
+// wait queue, made ready, then killed before running), the message or the
+// free slot it was woken for would otherwise be stranded while the remaining
+// waiters sleep — so the wake is re-issued to the next eligible waiter.
 func (m *Mailbox) purgeTask(t *Task) {
 	m.readers, _ = removeTask(m.readers, t)
 	m.writers, _ = removeTask(m.writers, t)
+	if m.full && len(m.readers) > 0 {
+		r := m.readers[0]
+		m.readers = m.readers[1:]
+		m.k.makeReady(r)
+	}
+	if !m.full && len(m.writers) > 0 {
+		w := m.writers[0]
+		m.writers = m.writers[1:]
+		m.k.makeReady(w)
+	}
+}
+
+// waitPeers implements waitNode: the tasks that could wake t out of this
+// mailbox, given which side it is blocked on.
+func (m *Mailbox) waitPeers(t *Task) ([]*Task, string, bool) {
+	if taskIn(m.readers, t) {
+		if m.inFlight > 0 {
+			// A fault-delayed delivery is still in flight; its timer proc will
+			// wake a reader without any task's help.
+			return nil, "", false
+		}
+		return m.senders.others(t), "mbox:" + m.Name, true
+	}
+	if taskIn(m.writers, t) {
+		return m.receivers.others(t), "mbox:" + m.Name, true
+	}
+	return nil, "", false
+}
+
+func (m *Mailbox) ipcEndpoint() bool { return true }
+
+// deliver lands a message into the slot and wakes the best reader.  Used by
+// the normal send path and by fault-delayed deliveries (which lose the
+// message if the slot refilled in the meantime — a delayed message has no
+// sender left to block).
+func (m *Mailbox) deliver(msg interface{}) bool {
+	if m.full {
+		return false
+	}
+	m.msg = msg
+	m.full = true
+	if len(m.readers) > 0 {
+		r := m.readers[0]
+		m.readers = m.readers[1:]
+		m.k.makeReady(r)
+	}
+	return true
 }
 
 // Send deposits msg, blocking while the box is full.
 func (m *Mailbox) Send(c *TaskCtx, msg interface{}) {
+	m.sendCommon(c, msg, noDeadline)
+}
+
+// SendTimeout deposits msg, giving up (ok=false) if no slot frees within
+// wait cycles.
+func (m *Mailbox) SendTimeout(c *TaskCtx, msg interface{}, wait sim.Cycles) bool {
+	return m.sendCommon(c, msg, c.p.Now()+wait)
+}
+
+// sendCommon implements Send and SendTimeout; deadline == noDeadline blocks forever.
+func (m *Mailbox) sendCommon(c *TaskCtx, msg interface{}, deadline sim.Cycles) bool {
 	c.serviceOverhead(4)
 	t := c.t
+	m.senders.add(t)
+	f := c.k.sendFault(m.Name, t)
+	if f.Drop {
+		// Lost in flight: the sender believes it delivered.
+		m.Sends++
+		m.Dropped++
+		c.k.ipcTrace(t, "send", m.Name)
+		return true
+	}
+	if f.Delay > 0 {
+		m.Sends++
+		m.Delayed++
+		m.inFlight++
+		d := f.Delay
+		c.k.S.Spawn(fmt.Sprintf("ipcdly.%s.%d", m.Name, m.Delayed), -1, func(tp *sim.Proc) {
+			tp.Delay(d)
+			m.inFlight--
+			m.deliver(msg) // lost if the slot refilled meanwhile
+		})
+		c.k.ipcTrace(t, "send", m.Name)
+		return true
+	}
+	armed := false
 	for m.full {
+		if deadline != noDeadline && c.p.Now() >= deadline {
+			if armed {
+				c.cancelWakeup()
+			}
+			m.Timeouts++
+			c.k.ipcTrace(t, "timeout", m.Name)
+			return false
+		}
+		if deadline != noDeadline && !armed {
+			c.armWakeup(deadline)
+			armed = true
+		}
 		m.writers = insertByPriority(m.writers, t)
+		c.k.ipcTrace(t, "block", m.Name)
 		c.k.blockCurrent(t, "mbox-send:"+m.Name)
 		for t.state == StateBlocked {
 			t.sig.Wait(c.p)
 		}
+		// A timeout wake leaves the task queued; a hand-off wake already
+		// popped it (this is then a no-op).
+		m.writers, _ = removeTask(m.writers, t)
 		c.ensureRunning()
 	}
-	m.msg = msg
-	m.full = true
-	m.Sends++
-	if len(m.readers) > 0 {
-		r := m.readers[0]
-		m.readers = m.readers[1:]
-		c.k.makeReady(r)
+	if armed {
+		c.cancelWakeup()
 	}
+	m.deliver(msg)
+	m.Sends++
+	c.k.ipcTrace(t, "send", m.Name)
+	return true
 }
 
 // Recv takes the message, blocking while the box is empty.
 func (m *Mailbox) Recv(c *TaskCtx) interface{} {
+	msg, _ := m.recvCommon(c, noDeadline)
+	return msg
+}
+
+// RecvTimeout takes the message, giving up (ok=false) if none arrives within
+// wait cycles.
+func (m *Mailbox) RecvTimeout(c *TaskCtx, wait sim.Cycles) (interface{}, bool) {
+	return m.recvCommon(c, c.p.Now()+wait)
+}
+
+// recvCommon implements Recv and RecvTimeout; deadline == noDeadline blocks forever.
+func (m *Mailbox) recvCommon(c *TaskCtx, deadline sim.Cycles) (interface{}, bool) {
 	c.serviceOverhead(4)
 	t := c.t
+	m.receivers.add(t)
+	armed := false
 	for !m.full {
+		if deadline != noDeadline && c.p.Now() >= deadline {
+			if armed {
+				c.cancelWakeup()
+			}
+			m.Timeouts++
+			c.k.ipcTrace(t, "timeout", m.Name)
+			return nil, false
+		}
+		if deadline != noDeadline && !armed {
+			c.armWakeup(deadline)
+			armed = true
+		}
 		m.readers = insertByPriority(m.readers, t)
+		c.k.ipcTrace(t, "block", m.Name)
 		c.k.blockCurrent(t, "mbox-recv:"+m.Name)
 		for t.state == StateBlocked {
 			t.sig.Wait(c.p)
 		}
+		m.readers, _ = removeTask(m.readers, t)
 		c.ensureRunning()
+	}
+	if armed {
+		c.cancelWakeup()
 	}
 	msg := m.msg
 	m.msg = nil
 	m.full = false
 	m.Recvs++
-	if len(m.writers) > 0 {
-		w := m.writers[0]
-		m.writers = m.writers[1:]
-		c.k.makeReady(w)
-	}
-	return msg
-}
-
-// TryRecv takes the message without blocking; ok reports success.
-func (m *Mailbox) TryRecv(c *TaskCtx) (msg interface{}, ok bool) {
-	c.serviceOverhead(3)
-	if !m.full {
-		return nil, false
-	}
-	msg = m.msg
-	m.msg = nil
-	m.full = false
-	m.Recvs++
+	c.k.ipcTrace(t, "recv", m.Name)
 	if len(m.writers) > 0 {
 		w := m.writers[0]
 		m.writers = m.writers[1:]
@@ -93,82 +343,395 @@ func (m *Mailbox) TryRecv(c *TaskCtx) (msg interface{}, ok bool) {
 	return msg, true
 }
 
-// Queue is a bounded FIFO message queue.
-type Queue struct {
-	k       *Kernel
-	Name    string
-	cap     int
-	items   []interface{}
-	readers []*Task
-	writers []*Task
-	// Instrumentation.
-	Sends, Recvs, HighWater int
+// TryRecv takes the message without blocking; ok reports success.
+func (m *Mailbox) TryRecv(c *TaskCtx) (msg interface{}, ok bool) {
+	c.serviceOverhead(3)
+	m.receivers.add(c.t)
+	if !m.full {
+		return nil, false
+	}
+	msg = m.msg
+	m.msg = nil
+	m.full = false
+	m.Recvs++
+	c.k.ipcTrace(c.t, "recv", m.Name)
+	if len(m.writers) > 0 {
+		w := m.writers[0]
+		m.writers = m.writers[1:]
+		c.k.makeReady(w)
+	}
+	return msg, true
 }
 
-// NewQueue creates a queue with the given capacity.
+// rvItem is one pending rendezvous offer on a capacity-0 queue: the sender
+// parks beside its message until a receiver takes it.  A fault-duplicated or
+// fault-delayed copy has a nil sender (nobody waits on it).
+type rvItem struct {
+	msg    interface{}
+	sender *Task
+	taken  bool
+}
+
+// Queue is a bounded FIFO message queue.  Capacity 0 makes it a synchronous
+// rendezvous channel: Send blocks until a receiver takes the message.
+type Queue struct {
+	k        *Kernel
+	Name     string
+	cap      int
+	items    []interface{}
+	rv       []*rvItem // pending rendezvous offers (capacity 0 only)
+	readers  []*Task
+	writers  []*Task
+	jamUntil sim.Cycles // stuck-full fault: report full until this cycle
+
+	senders   peerSet
+	receivers peerSet
+	inFlight  int // fault-delayed deliveries not yet landed
+
+	// Instrumentation.
+	Sends, Recvs, HighWater, Timeouts, Dropped, Delayed, Duped int
+}
+
+// NewQueue creates a queue with the given capacity (0 = rendezvous).
 func (k *Kernel) NewQueue(name string, capacity int) *Queue {
-	if capacity <= 0 {
-		panic("rtos: queue capacity must be positive")
+	if capacity < 0 {
+		panic("rtos: negative queue capacity")
 	}
 	q := &Queue{k: k, Name: name, cap: capacity}
 	k.syncObjs = append(k.syncObjs, q)
 	return q
 }
 
-// purgeTask drops a killed task from both wait queues (Kernel.Kill).
-func (q *Queue) purgeTask(t *Task) {
-	q.readers, _ = removeTask(q.readers, t)
-	q.writers, _ = removeTask(q.writers, t)
-}
+// Cap returns the queue capacity (0 = rendezvous).
+func (q *Queue) Cap() int { return q.cap }
 
 // Len returns the number of queued messages.
 func (q *Queue) Len() int { return len(q.items) }
 
-// Send enqueues msg, blocking while the queue is full.
+// BindSender declares t a sender on this queue (wait-for graph topology).
+func (q *Queue) BindSender(t *Task) { q.senders.add(t) }
+
+// BindReceiver declares t a receiver on this queue.
+func (q *Queue) BindReceiver(t *Task) { q.receivers.add(t) }
+
+// purgeTask drops a killed task from both wait queues and withdraws its
+// pending rendezvous offers (Kernel.Kill).  As with Mailbox.purgeTask, a
+// wake the victim had already consumed is re-issued to the next eligible
+// waiter so no message or slot is stranded.
+func (q *Queue) purgeTask(t *Task) {
+	q.readers, _ = removeTask(q.readers, t)
+	q.writers, _ = removeTask(q.writers, t)
+	kept := q.rv[:0]
+	for _, it := range q.rv {
+		if it.sender == t && !it.taken {
+			continue
+		}
+		kept = append(kept, it)
+	}
+	q.rv = kept
+	if q.recvReady() && len(q.readers) > 0 {
+		r := q.readers[0]
+		q.readers = q.readers[1:]
+		q.k.makeReady(r)
+	}
+	if q.cap > 0 && !q.sendBlocked() && len(q.writers) > 0 {
+		w := q.writers[0]
+		q.writers = q.writers[1:]
+		q.k.makeReady(w)
+	}
+}
+
+// waitPeers implements waitNode for all three blocked positions: reader,
+// writer waiting for space, rendezvous sender waiting for a taker.
+func (q *Queue) waitPeers(t *Task) ([]*Task, string, bool) {
+	ep := "queue:" + q.Name
+	if taskIn(q.readers, t) {
+		if q.inFlight > 0 {
+			return nil, "", false // a delayed delivery will land on its own
+		}
+		return q.senders.others(t), ep, true
+	}
+	if taskIn(q.writers, t) {
+		if q.k.S.Now() < q.jamUntil {
+			return nil, "", false // the jam-expiry proc will wake a writer
+		}
+		return q.receivers.others(t), ep, true
+	}
+	for _, it := range q.rv {
+		if it.sender == t && !it.taken {
+			return q.receivers.others(t), ep, true
+		}
+	}
+	return nil, "", false
+}
+
+func (q *Queue) ipcEndpoint() bool { return true }
+
+// sendBlocked reports whether a sender must wait for space right now.
+// Rendezvous senders (cap 0) never wait for space — they wait for a taker —
+// but a jam blocks them like everyone else.
+func (q *Queue) sendBlocked() bool {
+	if q.k.S.Now() < q.jamUntil {
+		return true
+	}
+	if q.cap == 0 {
+		return false
+	}
+	return len(q.items) >= q.cap
+}
+
+// recvReady reports whether a receiver could complete right now.
+func (q *Queue) recvReady() bool {
+	if len(q.items) > 0 {
+		return true
+	}
+	for _, it := range q.rv {
+		if !it.taken {
+			return true
+		}
+	}
+	return false
+}
+
+// Jam forces the queue to report full for the next d cycles (the stuck-full
+// fault: a wedged consumer in a real system).  Senders block — or time out —
+// until the jam expires; receivers keep draining buffered items.  Overlapping
+// jams extend to the latest deadline.
+func (q *Queue) Jam(d sim.Cycles) {
+	until := q.k.S.Now() + d
+	if until <= q.jamUntil {
+		return
+	}
+	q.jamUntil = until
+	q.k.S.Spawn(fmt.Sprintf("ipcjam.%s.%d", q.Name, uint64(until)), -1, func(tp *sim.Proc) {
+		if until > tp.Now() {
+			tp.Delay(until - tp.Now())
+		}
+		if q.jamUntil != until {
+			return // a later jam extended the deadline; its proc will unjam
+		}
+		if !q.sendBlocked() && len(q.writers) > 0 {
+			w := q.writers[0]
+			q.writers = q.writers[1:]
+			q.k.makeReady(w)
+		}
+	})
+}
+
+// deliver lands one message into the buffer (allowing fault copies to exceed
+// the capacity transiently) and wakes the best reader.
+func (q *Queue) deliver(msg interface{}) {
+	if q.cap == 0 {
+		// Rendezvous: an in-flight (delayed/duplicated) copy arrives as an
+		// orphan offer nobody blocks on.
+		q.rv = append(q.rv, &rvItem{msg: msg})
+	} else {
+		q.items = append(q.items, msg)
+		if len(q.items) > q.HighWater {
+			q.HighWater = len(q.items)
+		}
+	}
+	if len(q.readers) > 0 {
+		r := q.readers[0]
+		q.readers = q.readers[1:]
+		q.k.makeReady(r)
+	}
+}
+
+// Send enqueues msg, blocking while the queue is full (capacity 0: until a
+// receiver takes it).
 func (q *Queue) Send(c *TaskCtx, msg interface{}) {
+	q.sendCommon(c, msg, noDeadline)
+}
+
+// SendTimeout enqueues msg, giving up (ok=false) if the message cannot be
+// delivered within wait cycles.  On a rendezvous queue a timed-out offer is
+// withdrawn.
+func (q *Queue) SendTimeout(c *TaskCtx, msg interface{}, wait sim.Cycles) bool {
+	return q.sendCommon(c, msg, c.p.Now()+wait)
+}
+
+// sendCommon implements Send and SendTimeout; deadline == noDeadline blocks forever.
+func (q *Queue) sendCommon(c *TaskCtx, msg interface{}, deadline sim.Cycles) bool {
 	c.serviceOverhead(4)
 	t := c.t
-	for len(q.items) == q.cap {
+	q.senders.add(t)
+	f := c.k.sendFault(q.Name, t)
+	if f.Drop {
+		q.Sends++
+		q.Dropped++
+		c.k.ipcTrace(t, "send", q.Name)
+		return true
+	}
+	if f.Delay > 0 {
+		q.Sends++
+		q.Delayed++
+		q.inFlight++
+		d := f.Delay
+		c.k.S.Spawn(fmt.Sprintf("ipcdly.%s.%d", q.Name, q.Delayed), -1, func(tp *sim.Proc) {
+			tp.Delay(d)
+			q.inFlight--
+			q.deliver(msg)
+		})
+		c.k.ipcTrace(t, "send", q.Name)
+		return true
+	}
+	armed := false
+	for q.sendBlocked() {
+		if deadline != noDeadline && c.p.Now() >= deadline {
+			if armed {
+				c.cancelWakeup()
+			}
+			q.Timeouts++
+			c.k.ipcTrace(t, "timeout", q.Name)
+			return false
+		}
+		if deadline != noDeadline && !armed {
+			c.armWakeup(deadline)
+			armed = true
+		}
 		q.writers = insertByPriority(q.writers, t)
+		c.k.ipcTrace(t, "block", q.Name)
 		c.k.blockCurrent(t, "queue-send:"+q.Name)
 		for t.state == StateBlocked {
 			t.sig.Wait(c.p)
 		}
+		q.writers, _ = removeTask(q.writers, t)
 		c.ensureRunning()
 	}
-	q.items = append(q.items, msg)
-	if len(q.items) > q.HighWater {
-		q.HighWater = len(q.items)
+	if q.cap == 0 {
+		// Rendezvous: park beside the offer until a receiver takes it.
+		it := &rvItem{msg: msg, sender: t}
+		q.rv = append(q.rv, it)
+		if len(q.readers) > 0 {
+			r := q.readers[0]
+			q.readers = q.readers[1:]
+			c.k.makeReady(r)
+		}
+		for !it.taken {
+			if deadline != noDeadline && c.p.Now() >= deadline {
+				q.rv, _ = removeRv(q.rv, it)
+				if armed {
+					c.cancelWakeup()
+				}
+				q.Timeouts++
+				c.k.ipcTrace(t, "timeout", q.Name)
+				return false
+			}
+			if deadline != noDeadline && !armed {
+				c.armWakeup(deadline)
+				armed = true
+			}
+			c.k.ipcTrace(t, "block", q.Name)
+			c.k.blockCurrent(t, "queue-rv:"+q.Name)
+			for t.state == StateBlocked {
+				t.sig.Wait(c.p)
+			}
+			c.ensureRunning()
+		}
+		if armed {
+			c.cancelWakeup()
+		}
+		q.Sends++
+		if f.Dup {
+			q.Duped++
+			q.deliver(msg)
+		}
+		c.k.ipcTrace(t, "send", q.Name)
+		return true
 	}
+	if armed {
+		c.cancelWakeup()
+	}
+	q.deliver(msg)
 	q.Sends++
-	if len(q.readers) > 0 {
-		r := q.readers[0]
-		q.readers = q.readers[1:]
-		c.k.makeReady(r)
+	if f.Dup {
+		q.Duped++
+		q.deliver(msg)
 	}
+	c.k.ipcTrace(t, "send", q.Name)
+	return true
+}
+
+func removeRv(rv []*rvItem, it *rvItem) ([]*rvItem, bool) {
+	for i, x := range rv {
+		if x == it {
+			return append(rv[:i], rv[i+1:]...), true
+		}
+	}
+	return rv, false
 }
 
 // Recv dequeues a message, blocking while the queue is empty.
 func (q *Queue) Recv(c *TaskCtx) interface{} {
+	msg, _ := q.recvCommon(c, noDeadline)
+	return msg
+}
+
+// RecvTimeout dequeues a message, giving up (ok=false) if none arrives
+// within wait cycles.
+func (q *Queue) RecvTimeout(c *TaskCtx, wait sim.Cycles) (interface{}, bool) {
+	return q.recvCommon(c, c.p.Now()+wait)
+}
+
+// recvCommon implements Recv and RecvTimeout; deadline == noDeadline blocks forever.
+func (q *Queue) recvCommon(c *TaskCtx, deadline sim.Cycles) (interface{}, bool) {
 	c.serviceOverhead(4)
 	t := c.t
-	for len(q.items) == 0 {
+	q.receivers.add(t)
+	armed := false
+	for !q.recvReady() {
+		if deadline != noDeadline && c.p.Now() >= deadline {
+			if armed {
+				c.cancelWakeup()
+			}
+			q.Timeouts++
+			c.k.ipcTrace(t, "timeout", q.Name)
+			return nil, false
+		}
+		if deadline != noDeadline && !armed {
+			c.armWakeup(deadline)
+			armed = true
+		}
 		q.readers = insertByPriority(q.readers, t)
+		c.k.ipcTrace(t, "block", q.Name)
 		c.k.blockCurrent(t, "queue-recv:"+q.Name)
 		for t.state == StateBlocked {
 			t.sig.Wait(c.p)
 		}
+		q.readers, _ = removeTask(q.readers, t)
 		c.ensureRunning()
 	}
-	msg := q.items[0]
-	q.items = q.items[1:]
-	q.Recvs++
-	if len(q.writers) > 0 {
-		w := q.writers[0]
-		q.writers = q.writers[1:]
-		c.k.makeReady(w)
+	if armed {
+		c.cancelWakeup()
 	}
-	return msg
+	var msg interface{}
+	if len(q.items) > 0 {
+		msg = q.items[0]
+		q.items = q.items[1:]
+		if len(q.writers) > 0 && !q.sendBlocked() {
+			w := q.writers[0]
+			q.writers = q.writers[1:]
+			c.k.makeReady(w)
+		}
+	} else {
+		// Rendezvous: take the oldest pending offer and release its sender.
+		for i, it := range q.rv {
+			if it.taken {
+				continue
+			}
+			it.taken = true
+			msg = it.msg
+			q.rv = append(q.rv[:i], q.rv[i+1:]...)
+			if it.sender != nil {
+				c.k.makeReady(it.sender)
+			}
+			break
+		}
+	}
+	q.Recvs++
+	c.k.ipcTrace(t, "recv", q.Name)
+	return msg, true
 }
 
 // EventFlags is a group of 32 event bits with wait-any/wait-all semantics.
@@ -177,8 +740,11 @@ type EventFlags struct {
 	Name  string
 	bits  uint32
 	waits []*eventWait
+
+	setters peerSet // tasks observed/declared setting bits
+
 	// Instrumentation.
-	Sets, Waits int
+	Sets, Waits, Timeouts int
 }
 
 type eventWait struct {
@@ -194,7 +760,12 @@ func (k *Kernel) NewEventFlags(name string) *EventFlags {
 	return e
 }
 
-// purgeTask drops a killed task's pending waits (Kernel.Kill).
+// BindSetter declares t a setter on this event group (wait-for topology).
+func (e *EventFlags) BindSetter(t *Task) { e.setters.add(t) }
+
+// purgeTask drops a killed task's pending waits (Kernel.Kill).  Set wakes
+// every satisfied waiter directly (no single-wakee hand-off), so no re-wake
+// is needed here.
 func (e *EventFlags) purgeTask(t *Task) {
 	remaining := e.waits[:0]
 	for _, w := range e.waits {
@@ -204,6 +775,19 @@ func (e *EventFlags) purgeTask(t *Task) {
 	}
 	e.waits = remaining
 }
+
+// waitPeers implements waitNode: a blocked event waiter can only be released
+// by the group's setters.
+func (e *EventFlags) waitPeers(t *Task) ([]*Task, string, bool) {
+	for _, w := range e.waits {
+		if w.t == t {
+			return e.setters.others(t), "events:" + e.Name, true
+		}
+	}
+	return nil, "", false
+}
+
+func (e *EventFlags) ipcEndpoint() bool { return true }
 
 // Bits returns the current flag bits.
 func (e *EventFlags) Bits() uint32 { return e.bits }
@@ -218,8 +802,10 @@ func (w *eventWait) satisfied(bits uint32) bool {
 // Set asserts the bits in mask and releases satisfied waiters.
 func (e *EventFlags) Set(c *TaskCtx, mask uint32) {
 	c.serviceOverhead(3)
+	e.setters.add(c.t)
 	e.bits |= mask
 	e.Sets++
+	c.k.ipcTrace(c.t, "set", e.Name)
 	remaining := e.waits[:0]
 	for _, w := range e.waits {
 		if w.satisfied(e.bits) {
@@ -240,17 +826,58 @@ func (e *EventFlags) Clear(c *TaskCtx, mask uint32) {
 // Wait blocks until the mask condition is met (any bit when all is false,
 // every bit when all is true).  The satisfied bits are NOT auto-cleared.
 func (e *EventFlags) Wait(c *TaskCtx, mask uint32, all bool) uint32 {
+	bits, _ := e.waitCommon(c, mask, all, noDeadline)
+	return bits
+}
+
+// WaitTimeout blocks like Wait but gives up (ok=false) if the condition is
+// not met within wait cycles.
+func (e *EventFlags) WaitTimeout(c *TaskCtx, mask uint32, all bool, wait sim.Cycles) (uint32, bool) {
+	return e.waitCommon(c, mask, all, c.p.Now()+wait)
+}
+
+// waitCommon implements Wait and WaitTimeout; deadline == noDeadline blocks forever.
+func (e *EventFlags) waitCommon(c *TaskCtx, mask uint32, all bool, deadline sim.Cycles) (uint32, bool) {
 	c.serviceOverhead(3)
 	e.Waits++
 	t := c.t
 	w := &eventWait{t: t, mask: mask, all: all}
+	armed := false
 	for !w.satisfied(e.bits) {
+		if deadline != noDeadline && c.p.Now() >= deadline {
+			if armed {
+				c.cancelWakeup()
+			}
+			e.Timeouts++
+			c.k.ipcTrace(t, "timeout", e.Name)
+			return e.bits & mask, false
+		}
+		if deadline != noDeadline && !armed {
+			c.armWakeup(deadline)
+			armed = true
+		}
 		e.waits = append(e.waits, w)
+		c.k.ipcTrace(t, "block", e.Name)
 		c.k.blockCurrent(t, "events:"+e.Name)
 		for t.state == StateBlocked {
 			t.sig.Wait(c.p)
 		}
+		// A timeout wake leaves the wait registered; Set removed it.
+		e.removeWait(w)
 		c.ensureRunning()
 	}
-	return e.bits & mask
+	if armed {
+		c.cancelWakeup()
+	}
+	c.k.ipcTrace(t, "wait", e.Name)
+	return e.bits & mask, true
+}
+
+func (e *EventFlags) removeWait(w *eventWait) {
+	for i, x := range e.waits {
+		if x == w {
+			e.waits = append(e.waits[:i], e.waits[i+1:]...)
+			return
+		}
+	}
 }

@@ -138,7 +138,7 @@ func TestQueueCapacityPanics(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	NewKernel(sim.New(), 1).NewQueue("bad", 0)
+	NewKernel(sim.New(), 1).NewQueue("bad", -1)
 }
 
 func TestQueueRecvBlocksWhenEmpty(t *testing.T) {

@@ -115,6 +115,7 @@ type Kernel struct {
 
 	misuseFn func(error) bool
 	finj     FaultInjector
+	ipcInj   IPCInjector
 	syncObjs []waitPurger
 
 	// Instrumentation.

@@ -182,6 +182,22 @@ func (m *Mutex) purgeTask(t *Task) {
 // Owner returns the current owner, or nil.
 func (m *Mutex) Owner() *Task { return m.owner }
 
+// waitPeers implements waitNode: a blocked mutex waiter can only be released
+// by the current owner.  This is the lock half of the mixed lock+IPC
+// wait-for graph (waitfor.go).
+func (m *Mutex) waitPeers(t *Task) ([]*Task, string, bool) {
+	if !taskIn(m.waiters, t) {
+		return nil, "", false
+	}
+	if m.owner == nil {
+		// Hand-off in flight (purge/unlock raced the query): treat as unknown.
+		return nil, "", false
+	}
+	return []*Task{m.owner}, "mutex:" + m.Name, true
+}
+
+func (m *Mutex) ipcEndpoint() bool { return false }
+
 // Lock acquires the mutex, applying the configured priority protocol.
 func (m *Mutex) Lock(c *TaskCtx) {
 	start := c.p.Now()

@@ -47,6 +47,11 @@ const (
 	// (fault campaigns): Name identifies the fault/action, Verdict carries
 	// the target task or outcome.
 	KindFault
+	// KindIPC is a message-passing operation on a kernel IPC endpoint
+	// (mailbox, message queue, event group): Name is the operation
+	// ("ipc.send", "ipc.recv", "ipc.block", "ipc.timeout"), Verdict the
+	// endpoint name.
+	KindIPC
 )
 
 // String names the kind (used as the Chrome trace category).
@@ -66,6 +71,8 @@ func (k Kind) String() string {
 		return "detect"
 	case KindFault:
 		return "fault"
+	case KindIPC:
+		return "ipc"
 	}
 	return "other"
 }
