@@ -13,15 +13,19 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own static-analysis passes (lockorder, lockpair,
-# claims, ceiling, memlife, determinism, tracekind, ipc — see DESIGN.md
-# §8–§9 and §12, and `go run ./cmd/deltalint -help`).
+# claims, ceiling, memlife, determinism, tracekind, ipc, blocking — see
+# DESIGN.md §8–§9, §12–§13, and `go run ./cmd/deltalint -help`), then
+# enforces the wall-clock budget on a full-module lint (default 3400 ms;
+# override with DELTALINT_BUDGET_MS on slower machines).
 lint:
 	$(GO) run ./cmd/deltalint ./...
+	$(GO) test -run '^TestDeltalintTimeBudget$$' .
 
 # lint-json is the CI artifact flavor: machine-readable findings plus the
-# inferred resource-claims manifest.
+# inferred resource-claims manifest and the static worst-case blocking
+# bounds.
 lint-json:
-	$(GO) run ./cmd/deltalint -json -claims claims-manifest.json ./... > deltalint.json
+	$(GO) run ./cmd/deltalint -json -claims claims-manifest.json -blocking deltalint-blocking.json ./... > deltalint.json
 
 test:
 	$(GO) test ./...

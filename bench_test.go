@@ -6,7 +6,10 @@ package deltartos
 // -bench=.` regenerates the paper's rows.
 
 import (
+	"os"
+	"strconv"
 	"testing"
+	"time"
 
 	"deltartos/internal/analysis/framework"
 	"deltartos/internal/analysis/passes"
@@ -540,5 +543,40 @@ func BenchmarkDeltalint(b *testing.B) {
 		if len(diags) != 0 {
 			b.Fatalf("lint tree not clean: %d finding(s), first: %s", len(diags), diags[0].Message)
 		}
+	}
+}
+
+// TestDeltalintTimeBudget guards `make lint`'s wall clock: one full-module
+// lint (load plus all nine passes, the BenchmarkDeltalint body) must finish
+// inside DELTALINT_BUDGET_MS, defaulting to 3400 ms — roughly twice the
+// pre-summary-engine seed time — so the interprocedural layer cannot
+// quietly regress the merge gate.  Override the budget via the environment
+// on slower machines.
+func TestDeltalintTimeBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock budget is not meaningful under -short")
+	}
+	budget := 3400 * time.Millisecond
+	if s := os.Getenv("DELTALINT_BUDGET_MS"); s != "" {
+		ms, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("DELTALINT_BUDGET_MS=%q: %v", s, err)
+		}
+		budget = time.Duration(ms) * time.Millisecond
+	}
+	start := time.Now()
+	pkgs, err := framework.LoadModule(".", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run(pkgs, passes.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("lint tree not clean: %d finding(s), first: %s", len(diags), diags[0].Message)
+	}
+	if elapsed := time.Since(start); elapsed > budget {
+		t.Errorf("full-module deltalint took %v, over the %v budget (override with DELTALINT_BUDGET_MS)", elapsed, budget)
 	}
 }

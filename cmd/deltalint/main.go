@@ -1,7 +1,7 @@
 // Command deltalint is the project's static-analysis driver.  It runs the
 // passes of internal/analysis/passes — lockorder, lockpair, claims, ceiling,
-// memlife, determinism, tracekind and ipc — over the module and prints
-// go-vet-style diagnostics:
+// memlife, determinism, tracekind, ipc and blocking — over the module and
+// prints go-vet-style diagnostics:
 //
 //	file:line:col: [pass] message
 //
@@ -9,8 +9,10 @@
 //
 //	go run ./cmd/deltalint ./...           # whole module (what `make lint` does)
 //	go run ./cmd/deltalint ./internal/app  # one package
+//	go run ./cmd/deltalint -run lockorder,ipc ./...   # a subset of passes
 //	go run ./cmd/deltalint -json ./...     # machine-readable findings (CI artifact)
 //	go run ./cmd/deltalint -claims claims.json ./...  # write the inferred claims manifest
+//	go run ./cmd/deltalint -blocking blocking.json ./...  # write worst-case blocking bounds
 //	go run ./cmd/deltalint -help           # pass documentation
 //
 // Exit status is 1 when any diagnostic is reported, 2 on load errors.
@@ -43,11 +45,13 @@ type finding struct {
 
 func main() {
 	help := flag.Bool("help", false, "print pass documentation and exit")
-	only := flag.String("only", "", "comma-separated subset of passes to run")
+	run := flag.String("run", "", "comma-separated subset of passes to run")
+	only := flag.String("only", "", "alias for -run (kept for compatibility)")
 	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
 	claimsOut := flag.String("claims", "", "write the inferred resource-claims manifest to this file")
+	blockingOut := flag.String("blocking", "", "write the static worst-case blocking bounds to this file as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: deltalint [-only pass,pass] [-json] [-claims file] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: deltalint [-run pass,pass] [-json] [-claims file] [-blocking file] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,22 +63,53 @@ func main() {
 		}
 		return
 	}
-	if *only != "" {
+	sel := *run
+	if sel == "" {
+		sel = *only
+	} else if *only != "" && *only != *run {
+		fmt.Fprintf(os.Stderr, "deltalint: -run and -only disagree; pass just one\n")
+		os.Exit(2)
+	}
+	if sel != "" {
 		want := map[string]bool{}
-		for _, name := range strings.Split(*only, ",") {
+		for _, name := range strings.Split(sel, ",") {
 			want[strings.TrimSpace(name)] = true
 		}
-		var sel []*passes.Analyzer
+		var picked []*passes.Analyzer
 		for _, a := range analyzers {
 			if want[a.Name] {
-				sel = append(sel, a)
+				picked = append(picked, a)
+				delete(want, a.Name)
 			}
 		}
-		if len(sel) == 0 {
-			fmt.Fprintf(os.Stderr, "deltalint: no passes match -only=%s\n", *only)
+		if len(want) > 0 {
+			var unknown []string
+			for name := range want {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "deltalint: unknown pass(es) in -run: %s\n", strings.Join(unknown, ", "))
 			os.Exit(2)
 		}
-		analyzers = sel
+		if len(picked) == 0 {
+			fmt.Fprintf(os.Stderr, "deltalint: no passes match -run=%s\n", sel)
+			os.Exit(2)
+		}
+		analyzers = picked
+	}
+	if *blockingOut != "" {
+		// The bounds come from the blocking pass; make sure it is selected.
+		found := false
+		for _, a := range analyzers {
+			if a.Name == "blocking" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "deltalint: -blocking requires the blocking pass (add it to -run)\n")
+			os.Exit(2)
+		}
 	}
 
 	patterns := flag.Args()
@@ -103,9 +138,11 @@ func main() {
 	}
 
 	// Drive each analyzer ourselves (rather than framework.Run) so the
-	// claims pass's manifest results can be merged across packages.
+	// claims pass's manifest results and the blocking pass's bounds can be
+	// merged across packages.
 	var findings []finding
 	manifest := &claims.Manifest{Module: "deltartos"}
+	blocking := &passes.BlockingResult{Bounds: []passes.BlockingBound{}}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			diags, res, err := framework.RunAnalyzer(pkg, a)
@@ -125,6 +162,9 @@ func main() {
 			}
 			if m, ok := res.(*claims.Manifest); ok && m != nil {
 				manifest.Scenarios = append(manifest.Scenarios, m.Scenarios...)
+			}
+			if br, ok := res.(*passes.BlockingResult); ok && br != nil {
+				blocking.Bounds = append(blocking.Bounds, br.Bounds...)
 			}
 		}
 	}
@@ -152,6 +192,25 @@ func main() {
 			os.Exit(2)
 		}
 		if err := os.WriteFile(*claimsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *blockingOut != "" {
+		sort.Slice(blocking.Bounds, func(i, j int) bool {
+			a, b := blocking.Bounds[i], blocking.Bounds[j]
+			if a.Scenario != b.Scenario {
+				return a.Scenario < b.Scenario
+			}
+			return a.Task < b.Task
+		})
+		data, err := json.MarshalIndent(blocking, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: encode blocking bounds: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*blockingOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
 			os.Exit(2)
 		}

@@ -102,27 +102,9 @@ func runCeiling(pass *Pass) (any, error) {
 
 	rep := runLockFlow(pass)
 
-	// Package-wide static acquirer sets per long lock id.
-	type acquirer struct {
-		scope *flowScope
-		task  *taskInfo
-		acq   *taskAcquire
-	}
-	byLock := map[int64][]acquirer{}
-	for _, scope := range rep.scopes {
-		for _, t := range scope.tasks {
-			for _, a := range sortedAcquires(t) {
-				if a.space == "long" && a.numeric {
-					byLock[a.id] = append(byLock[a.id], acquirer{scope: scope, task: t, acq: a})
-				}
-			}
-		}
-	}
-	var lockIDs []int64
-	for id := range byLock {
-		lockIDs = append(lockIDs, id)
-	}
-	sort.Slice(lockIDs, func(i, j int) bool { return lockIDs[i] < lockIDs[j] })
+	// Package-wide static acquirer sets per long lock id (shared with the
+	// blocking engine).
+	lockIDs, byLock := indexLongAcquires(rep)
 
 	ceil := map[int64]ceilCall{}
 	programmed := map[int64]bool{}
@@ -187,31 +169,20 @@ func runCeiling(pass *Pass) (any, error) {
 		}
 	}
 
-	// Static worst-case blocking bound per task: the longest critical
-	// section a lower-priority task of the same scenario can run under a
-	// lock whose ceiling blocks this task.
+	// Static worst-case blocking bound per task: the blocking engine's IPCP
+	// push-through term (the longest critical section a lower-priority task
+	// of the same scenario can run under a lock whose ceiling blocks this
+	// task) — derived, not hand-maintained.
+	ceilVals := map[int64]int64{}
+	for id, s := range ceil {
+		ceilVals[id] = s.ceil
+	}
 	for _, scope := range rep.scopes {
 		for _, t := range scope.tasks {
 			if !t.hasPrio {
 				continue
 			}
-			tb := TaskBlocking{Scenario: scope.fn, Task: t.name, Prio: int(t.prio), Lock: -1}
-			for _, id := range lockIDs {
-				if !programmed[id] || ceil[id].ceil > t.prio {
-					continue // this lock's ceiling cannot block the task
-				}
-				for _, a := range byLock[id] {
-					if a.scope != scope || !a.task.hasPrio || a.task.prio <= t.prio {
-						continue
-					}
-					if a.acq.maxCS > tb.Bound {
-						tb.Bound = a.acq.maxCS
-						tb.Lock = int(id)
-						tb.By = a.task.name
-					}
-				}
-			}
-			res.Blocking = append(res.Blocking, tb)
+			res.Blocking = append(res.Blocking, ipcpBlocking(scope, t, lockIDs, byLock, ceilVals, programmed))
 		}
 	}
 	return res, nil

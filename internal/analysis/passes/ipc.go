@@ -118,7 +118,7 @@ type ipcScope struct {
 
 type ipcWalker struct {
 	pass      *Pass
-	locals    map[types.Object]*ast.FuncLit
+	sums      *summaries
 	queueCaps map[types.Object]int64 // endpoint object -> NewQueue constant capacity
 	epNames   map[types.Object]string
 }
@@ -126,7 +126,7 @@ type ipcWalker struct {
 func runIPC(pass *Pass) (any, error) {
 	w := &ipcWalker{
 		pass:      pass,
-		locals:    map[types.Object]*ast.FuncLit{},
+		sums:      newSummaries(pass),
 		queueCaps: map[types.Object]int64{},
 		epNames:   map[types.Object]string{},
 	}
@@ -159,8 +159,8 @@ func runIPC(pass *Pass) (any, error) {
 	return res, nil
 }
 
-// collectBindings indexes local function literals (helper bodies inlined at
-// their call sites), NewQueue capacities, and endpoint creation names.
+// collectBindings indexes NewQueue capacities and endpoint creation names.
+// Helper function literals come from the shared summary engine's call graph.
 func (w *ipcWalker) collectBindings() {
 	record := func(lhs ast.Expr, rhs ast.Expr) {
 		id, ok := lhs.(*ast.Ident)
@@ -171,15 +171,11 @@ func (w *ipcWalker) collectBindings() {
 		if obj == nil {
 			return
 		}
-		if lit, ok := rhs.(*ast.FuncLit); ok {
-			w.locals[obj] = lit
-			return
-		}
 		call, ok := rhs.(*ast.CallExpr)
 		if !ok {
 			return
 		}
-		name, _ := ipcCallee(w.pass, call)
+		name, _ := calleeOf(w.pass, call)
 		if len(call.Args) >= 1 {
 			if tv, ok := w.pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
 				switch name {
@@ -229,7 +225,7 @@ func (w *ipcWalker) walkScope(fd *ast.FuncDecl) *ipcScope {
 		if !ok {
 			return true
 		}
-		name, _ := ipcCallee(w.pass, call)
+		name, _ := calleeOf(w.pass, call)
 		if name != "CreateTask" {
 			return true
 		}
@@ -274,8 +270,8 @@ func (w *ipcWalker) collectOps(task *ipcTask, body ast.Node, env map[types.Objec
 		if w.classifyIPC(task, call, env) {
 			return true
 		}
-		if _, obj := ipcCallee(w.pass, call); obj != nil && depth < 20 {
-			if lit, ok := w.locals[obj]; ok && !active[lit] {
+		if _, obj := calleeOf(w.pass, call); obj != nil && depth < 20 {
+			if lit := w.sums.localLit(obj); lit != nil && !active[lit] {
 				active[lit] = true
 				w.collectOps(task, lit.Body, w.bindParams(lit, call, env), active, depth+1)
 				delete(active, lit)
@@ -581,13 +577,3 @@ func analyzeIPCScope(scope *ipcScope) IPCScopeReport {
 	return rep
 }
 
-// ipcCallee returns the called name and, when resolvable, its object.
-func ipcCallee(pass *Pass, call *ast.CallExpr) (string, types.Object) {
-	switch fn := call.Fun.(type) {
-	case *ast.Ident:
-		return fn.Name, pass.TypesInfo.Uses[fn]
-	case *ast.SelectorExpr:
-		return fn.Sel.Name, pass.TypesInfo.Uses[fn.Sel]
-	}
-	return "", nil
-}

@@ -57,7 +57,9 @@ type taskInfo struct {
 	pos      token.Pos
 	prio     int64
 	hasPrio  bool
-	pseudo   bool // scope-level code, not a created task
+	pseudo   bool  // scope-level code, not a created task
+	delay    int64 // constant CreateTask start delay (cycles), 0 otherwise
+	lit      *ast.FuncLit // the task body literal (nil for pseudo entries)
 	acquires map[string]*taskAcquire
 }
 
@@ -84,15 +86,14 @@ type flowReport struct {
 
 // runLockFlow analyzes every top-level function of the package.
 func runLockFlow(pass *Pass) *flowReport {
-	w := &lockWalker{
-		pass:     pass,
-		wrappers: map[types.Object][]lockOp{},
-		locals:   map[types.Object]*ast.FuncLit{},
-	}
-	w.collectLocals()
-	w.collectWrappers()
+	return runLockFlowWith(newLockWalker(pass))
+}
+
+// runLockFlowWith is runLockFlow on an existing walker, letting callers that
+// need several engines (the blocking pass) share one summary build.
+func runLockFlowWith(w *lockWalker) *flowReport {
 	rep := &flowReport{}
-	for _, file := range pass.Files {
+	for _, file := range w.pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if ok && fd.Body != nil && !w.isWrapper(fd) {
@@ -192,6 +193,7 @@ type taskReq struct {
 	name    string // runtime task name when constant
 	prio    int64
 	hasPrio bool
+	delay   int64 // constant start delay (cycles), 0 otherwise
 }
 
 // scopeFlow carries the engine state while analyzing one top-level scope.
@@ -261,6 +263,8 @@ func (sf *scopeFlow) drainTasks() {
 		sf.taskQueue = sf.taskQueue[1:]
 		ti := newTaskInfo(req.name, req.lit.Pos())
 		ti.prio, ti.hasPrio = req.prio, req.hasPrio
+		ti.delay = req.delay
+		ti.lit = req.lit
 		sf.scope.tasks = append(sf.scope.tasks, ti)
 		sf.analyzeRoot(req.lit.Body, req.label, ti)
 	}
@@ -537,7 +541,7 @@ func (sf *scopeFlow) processNode(n ast.Node, f *flowFact) *flowFact {
 		return sf.processCalls(s, f)
 	case *ast.GoStmt:
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			sf.queueLit(lit, sf.where+" (goroutine)", sf.where+" (goroutine)", 0, false)
+			sf.queueLit(lit, sf.where+" (goroutine)", sf.where+" (goroutine)", 0, false, 0)
 			return f
 		}
 		return sf.processCalls(s, f)
@@ -565,15 +569,10 @@ func (sf *scopeFlow) processCalls(n ast.Node, f *flowFact) *flowFact {
 }
 
 func (sf *scopeFlow) resolveOps(call *ast.CallExpr) []lockOp {
-	if ops := sf.w.classify(call); len(ops) > 0 {
+	if ops := classifyLockOps(sf.w.pass, call); len(ops) > 0 {
 		return ops
 	}
-	if obj := sf.w.calleeObject(call); obj != nil {
-		if ops, ok := sf.w.wrappers[obj]; ok {
-			return ops
-		}
-	}
-	return nil
+	return sf.w.sums.resolveLockOps(call)
 }
 
 func (sf *scopeFlow) processCall(call *ast.CallExpr, f *flowFact) *flowFact {
@@ -589,7 +588,7 @@ func (sf *scopeFlow) processCall(call *ast.CallExpr, f *flowFact) *flowFact {
 		}
 		return f
 	}
-	name, obj := sf.w.callee(call)
+	name, obj := calleeOf(sf.w.pass, call)
 	if name == "DeclareClaim" && len(call.Args) >= 1 {
 		sf.recordDeclare(call)
 		return f
@@ -601,7 +600,7 @@ func (sf *scopeFlow) processCall(call *ast.CallExpr, f *flowFact) *flowFact {
 	// Calls to locally-bound function literals are inlined with the
 	// caller's fact (the telemetry helper idiom).
 	if obj != nil {
-		if lit, ok := sf.w.locals[obj]; ok {
+		if lit := sf.w.sums.localLit(obj); lit != nil {
 			return sf.inlineLit(lit, f)
 		}
 	}
@@ -650,24 +649,33 @@ func (sf *scopeFlow) queueTaskCall(call *ast.CallExpr, name string) {
 	var prio int64
 	hasPrio := false
 	if len(call.Args) > prioIdx {
-		if v, _, ok := sf.w.constID(call.Args[prioIdx]); ok {
+		if v, _, ok := constIntOf(sf.w.pass, call.Args[prioIdx]); ok {
 			prio, hasPrio = v, true
+		}
+	}
+	// CreateTask(name, pe, prio, delay, fn): the constant start delay feeds
+	// the blocking-bound chain term (a consumer can sit blocked until a
+	// delayed producer starts).
+	var delay int64
+	if name == "CreateTask" && len(call.Args) > 3 {
+		if v, _, ok := constIntOf(sf.w.pass, call.Args[3]); ok {
+			delay = v
 		}
 	}
 	for _, arg := range call.Args {
 		if lit, ok := arg.(*ast.FuncLit); ok {
-			sf.queueLit(lit, label, taskName, prio, hasPrio)
+			sf.queueLit(lit, label, taskName, prio, hasPrio, delay)
 		}
 	}
 }
 
-func (sf *scopeFlow) queueLit(lit *ast.FuncLit, label, name string, prio int64, hasPrio bool) {
+func (sf *scopeFlow) queueLit(lit *ast.FuncLit, label, name string, prio int64, hasPrio bool, delay int64) {
 	if sf.queued[lit] {
 		return
 	}
 	sf.queued[lit] = true
 	sf.seen[lit] = true
-	sf.taskQueue = append(sf.taskQueue, taskReq{lit: lit, label: label, name: name, prio: prio, hasPrio: hasPrio})
+	sf.taskQueue = append(sf.taskQueue, taskReq{lit: lit, label: label, name: name, prio: prio, hasPrio: hasPrio, delay: delay})
 }
 
 // apply interprets one lock operation against the fact.
@@ -764,7 +772,7 @@ func (sf *scopeFlow) computeCycles(call *ast.CallExpr) (int64, bool) {
 	if len(call.Args) <= argIdx {
 		return 0, false
 	}
-	v, _, ok := sf.w.constID(call.Args[argIdx])
+	v, _, ok := constIntOf(sf.w.pass, call.Args[argIdx])
 	return v, ok
 }
 
@@ -773,13 +781,13 @@ func (sf *scopeFlow) recordDeclare(call *ast.CallExpr) {
 	if len(call.Args) < 1 {
 		return
 	}
-	p, _, ok := sf.w.constID(call.Args[0])
+	p, _, ok := constIntOf(sf.w.pass, call.Args[0])
 	if !ok {
 		return
 	}
 	var res []int64
 	for _, a := range call.Args[1:] {
-		v, _, ok := sf.w.constID(a)
+		v, _, ok := constIntOf(sf.w.pass, a)
 		if !ok {
 			return // variadic spread or computed ids: not statically known
 		}

@@ -5,8 +5,6 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/token"
-	"go/types"
-	"strings"
 )
 
 // The lock-flow walker shared by the lockorder and lockpair passes.  It
@@ -73,23 +71,27 @@ type lockScope struct {
 	edgeSet  map[string]bool
 }
 
+// lockWalker drives the lock-surface walks; the interprocedural pieces
+// (bound-literal bodies, wrapper summaries) come from the shared summary
+// engine in interproc.go.
 type lockWalker struct {
-	pass     *Pass
-	wrappers map[types.Object][]lockOp     // lock/unlock helper methods
-	locals   map[types.Object]*ast.FuncLit // var := func(...){...}
+	pass *Pass
+	sums *summaries
+}
+
+func newLockWalker(pass *Pass) *lockWalker {
+	return &lockWalker{pass: pass, sums: newSummaries(pass)}
 }
 
 // walkLocks analyzes every top-level function of the package.
 func walkLocks(pass *Pass) *lockReport {
-	w := &lockWalker{
-		pass:     pass,
-		wrappers: map[types.Object][]lockOp{},
-		locals:   map[types.Object]*ast.FuncLit{},
-	}
-	w.collectLocals()
-	w.collectWrappers()
+	return walkLocksWith(newLockWalker(pass))
+}
+
+// walkLocksWith is walkLocks on an existing walker (shared summary build).
+func walkLocksWith(w *lockWalker) *lockReport {
 	rep := &lockReport{}
-	for _, file := range pass.Files {
+	for _, file := range w.pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if ok && fd.Body != nil && !w.isWrapper(fd) {
@@ -100,76 +102,8 @@ func walkLocks(pass *Pass) *lockReport {
 	return rep
 }
 
-// collectLocals indexes `name := func(...) {...}` bindings package-wide.
-func (w *lockWalker) collectLocals() {
-	for _, file := range w.pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			switch st := n.(type) {
-			case *ast.AssignStmt:
-				for i, rhs := range st.Rhs {
-					lit, ok := rhs.(*ast.FuncLit)
-					if !ok || i >= len(st.Lhs) {
-						continue
-					}
-					if id, ok := st.Lhs[i].(*ast.Ident); ok {
-						if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
-							w.locals[obj] = lit
-						}
-					}
-				}
-			case *ast.ValueSpec:
-				for i, rhs := range st.Values {
-					lit, ok := rhs.(*ast.FuncLit)
-					if !ok || i >= len(st.Names) {
-						continue
-					}
-					if obj := w.pass.TypesInfo.Defs[st.Names[i]]; obj != nil {
-						w.locals[obj] = lit
-					}
-				}
-			}
-			return true
-		})
-	}
-}
-
-// collectWrappers registers helper functions whose whole body is a single
-// (possibly nil-guarded) lock operation, like ResourceManager.lock /
-// .unlock.  Calls to them count as the wrapped operation.
-func (w *lockWalker) collectWrappers() {
-	for _, file := range w.pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || len(fd.Body.List) != 1 {
-				continue
-			}
-			st := fd.Body.List[0]
-			if ifst, ok := st.(*ast.IfStmt); ok && ifst.Else == nil && len(ifst.Body.List) == 1 {
-				st = ifst.Body.List[0]
-			}
-			es, ok := st.(*ast.ExprStmt)
-			if !ok {
-				continue
-			}
-			call, ok := es.X.(*ast.CallExpr)
-			if !ok {
-				continue
-			}
-			ops := w.classify(call)
-			if len(ops) == 0 {
-				continue
-			}
-			if obj := w.pass.TypesInfo.Defs[fd.Name]; obj != nil {
-				w.wrappers[obj] = ops
-			}
-		}
-	}
-}
-
 func (w *lockWalker) isWrapper(fd *ast.FuncDecl) bool {
-	obj := w.pass.TypesInfo.Defs[fd.Name]
-	_, ok := w.wrappers[obj]
-	return obj != nil && ok
+	return w.sums.isLockWrapper(fd)
 }
 
 // heldLock is one currently-held lock on the walked path.
@@ -437,17 +371,13 @@ func (sw *scopeWalk) walkCalls(st ast.Stmt, state *walkState) {
 }
 
 // resolveOps returns the lock operations a call performs, looking through
-// wrapper helpers.
+// summarized wrapper helpers (including transitive wrapper chains, aliases
+// and method values).
 func (sw *scopeWalk) resolveOps(call *ast.CallExpr, state *walkState) []lockOp {
-	if ops := sw.w.classify(call); len(ops) > 0 {
+	if ops := classifyLockOps(sw.w.pass, call); len(ops) > 0 {
 		return ops
 	}
-	if obj := sw.w.calleeObject(call); obj != nil {
-		if ops, ok := sw.w.wrappers[obj]; ok {
-			return ops
-		}
-	}
-	return nil
+	return sw.w.sums.resolveLockOps(call)
 }
 
 func (sw *scopeWalk) processCall(call *ast.CallExpr, state *walkState) {
@@ -457,7 +387,7 @@ func (sw *scopeWalk) processCall(call *ast.CallExpr, state *walkState) {
 		}
 		return
 	}
-	name, obj := sw.w.callee(call)
+	name, obj := calleeOf(sw.w.pass, call)
 	// Task creation: function literal arguments become task bodies of this
 	// scope, walked from an empty lock state.
 	if name == "CreateTask" || name == "Spawn" {
@@ -477,7 +407,7 @@ func (sw *scopeWalk) processCall(call *ast.CallExpr, state *walkState) {
 	// Calls to locally-bound function literals are inlined with the
 	// caller's lock state (the telemetry helper idiom).
 	if obj != nil {
-		if lit, ok := sw.w.locals[obj]; ok {
+		if lit := sw.w.sums.localLit(obj); lit != nil {
 			if !sw.active[lit] && sw.depth < 20 {
 				sw.active[lit] = true
 				sw.seen[lit] = true
@@ -559,59 +489,6 @@ func (sw *scopeWalk) addEdge(from, to lockNode, pos token.Pos) {
 	sw.scope.edges = append(sw.scope.edges, lockEdge{from: from, to: to, pos: pos, where: sw.where})
 }
 
-// callee returns the called name and, when resolvable, its object.
-func (w *lockWalker) callee(call *ast.CallExpr) (string, types.Object) {
-	switch fn := call.Fun.(type) {
-	case *ast.Ident:
-		return fn.Name, w.pass.TypesInfo.Uses[fn]
-	case *ast.SelectorExpr:
-		return fn.Sel.Name, w.pass.TypesInfo.Uses[fn.Sel]
-	}
-	return "", nil
-}
-
-func (w *lockWalker) calleeObject(call *ast.CallExpr) types.Object {
-	_, obj := w.callee(call)
-	return obj
-}
-
-// hasCtxArg reports whether the call's first argument is a *TaskCtx-style
-// context — the signature marker of the simulator's lock surfaces.
-func (w *lockWalker) hasCtxArg(call *ast.CallExpr) bool {
-	if len(call.Args) == 0 {
-		return false
-	}
-	tv, ok := w.pass.TypesInfo.Types[call.Args[0]]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	ptr, ok := tv.Type.Underlying().(*types.Pointer)
-	if !ok {
-		return false
-	}
-	named, ok := ptr.Elem().(*types.Named)
-	return ok && strings.HasSuffix(named.Obj().Name(), "Ctx")
-}
-
-// constID folds an argument to a constant int64 lock id.
-func (w *lockWalker) constID(e ast.Expr) (int64, string, bool) {
-	tv, ok := w.pass.TypesInfo.Types[e]
-	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
-		return 0, "", false
-	}
-	v, ok := constant.Int64Val(tv.Value)
-	if !ok {
-		return 0, "", false
-	}
-	name := ""
-	if id, ok := e.(*ast.Ident); ok {
-		name = id.Name
-	} else if sel, ok := e.(*ast.SelectorExpr); ok {
-		name = sel.Sel.Name
-	}
-	return v, name, true
-}
-
 func makeNode(space string, id int64, srcName string) lockNode {
 	key := fmt.Sprintf("%s:%d", space, id)
 	display := key
@@ -619,92 +496,4 @@ func makeNode(space string, id int64, srcName string) lockNode {
 		display = fmt.Sprintf("%s(%s)", key, srcName)
 	}
 	return lockNode{key: key, display: display}
-}
-
-// classify maps a call expression to the lock operations it performs.
-func (w *lockWalker) classify(call *ast.CallExpr) []lockOp {
-	name, _ := w.callee(call)
-	if name == "" || !w.hasCtxArg(call) {
-		return nil
-	}
-	idNode := func(space string, arg ast.Expr) (lockNode, bool) {
-		id, src, ok := w.constID(arg)
-		if !ok {
-			return lockNode{}, false
-		}
-		return makeNode(space, id, src), true
-	}
-	switch {
-	case name == "Acquire" && len(call.Args) == 2:
-		if n, ok := idNode("long", call.Args[1]); ok {
-			return []lockOp{{acquire: true, node: n}}
-		}
-	case name == "AcquireShort" && len(call.Args) == 2:
-		if n, ok := idNode("short", call.Args[1]); ok {
-			return []lockOp{{acquire: true, node: n}}
-		}
-	case name == "Release" && len(call.Args) == 2:
-		if n, ok := idNode("long", call.Args[1]); ok {
-			return []lockOp{{node: n}}
-		}
-	case name == "ReleaseShort" && len(call.Args) == 2:
-		if n, ok := idNode("short", call.Args[1]); ok {
-			return []lockOp{{node: n}}
-		}
-	case name == "Request" && len(call.Args) == 3:
-		if n, ok := idNode("res", call.Args[2]); ok {
-			op := lockOp{acquire: true, node: n}
-			op.proc, _, op.hasProc = w.constID(call.Args[1])
-			return []lockOp{op}
-		}
-	case name == "Release" && len(call.Args) == 3:
-		if n, ok := idNode("res", call.Args[2]); ok {
-			op := lockOp{node: n}
-			op.proc, _, op.hasProc = w.constID(call.Args[1])
-			return []lockOp{op}
-		}
-	case (name == "RequestBoth" || name == "RequestPair") && len(call.Args) == 4:
-		a, okA := idNode("res", call.Args[2])
-		b, okB := idNode("res", call.Args[3])
-		if okA && okB {
-			op := lockOp{acquire: true, batch: []lockNode{a, b}}
-			op.proc, _, op.hasProc = w.constID(call.Args[1])
-			return []lockOp{op}
-		}
-	case (name == "Lock" || name == "Unlock") && len(call.Args) == 1:
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return nil
-		}
-		node, ok := w.mutexNode(sel.X)
-		if !ok {
-			return nil
-		}
-		return []lockOp{{acquire: name == "Lock", node: node}}
-	}
-	return nil
-}
-
-// mutexNode derives a lock identity for an rtos.Mutex receiver expression:
-// the variable or struct field holding the mutex.
-func (w *lockWalker) mutexNode(recv ast.Expr) (lockNode, bool) {
-	var obj types.Object
-	switch x := recv.(type) {
-	case *ast.Ident:
-		obj = w.pass.TypesInfo.Uses[x]
-	case *ast.SelectorExpr:
-		if sel, ok := w.pass.TypesInfo.Selections[x]; ok {
-			obj = sel.Obj()
-		} else {
-			obj = w.pass.TypesInfo.Uses[x.Sel]
-		}
-	}
-	if obj == nil {
-		return lockNode{}, false
-	}
-	key := "mutex:" + obj.Name()
-	if obj.Pkg() != nil {
-		key = fmt.Sprintf("mutex:%s.%s", obj.Pkg().Name(), obj.Name())
-	}
-	return lockNode{key: key, display: key}, true
 }

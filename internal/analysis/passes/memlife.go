@@ -7,7 +7,6 @@ import (
 	"go/types"
 	"sort"
 	"strconv"
-	"strings"
 
 	"deltartos/internal/analysis/framework"
 )
@@ -126,18 +125,17 @@ type memFinding struct {
 }
 
 type memWalker struct {
-	pass      *Pass
-	summaries map[types.Object]*memSummary
-	findSet   map[string]memFinding
+	pass    *Pass
+	sums    *summaries
+	findSet map[string]memFinding
 }
 
 func runMemLife(pass *Pass) (any, error) {
 	mw := &memWalker{
-		pass:      pass,
-		summaries: map[types.Object]*memSummary{},
-		findSet:   map[string]memFinding{},
+		pass:    pass,
+		sums:    newSummaries(pass),
+		findSet: map[string]memFinding{},
 	}
-	mw.collectSummaries()
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -176,58 +174,22 @@ func (mw *memWalker) addFinding(pos token.Pos, msg string) {
 	}
 }
 
-// ctxFirstArg reports whether the call's first argument is a *...Ctx task
-// context (the allocator/lock signature marker).
-func (mw *memWalker) ctxFirstArg(call *ast.CallExpr) bool {
-	if len(call.Args) == 0 {
-		return false
-	}
-	tv, ok := mw.pass.TypesInfo.Types[call.Args[0]]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	ptr, ok := tv.Type.Underlying().(*types.Pointer)
-	if !ok {
-		return false
-	}
-	named, ok := ptr.Elem().(*types.Named)
-	return ok && strings.HasSuffix(named.Obj().Name(), "Ctx")
-}
-
-func (mw *memWalker) calleeNameObj(call *ast.CallExpr) (string, types.Object) {
-	switch fn := call.Fun.(type) {
-	case *ast.Ident:
-		return fn.Name, mw.pass.TypesInfo.Uses[fn]
-	case *ast.SelectorExpr:
-		return fn.Sel.Name, mw.pass.TypesInfo.Uses[fn.Sel]
-	}
-	return "", nil
-}
-
 // isAllocCall recognizes `X.Alloc(c, bytes)` and fresh-returning helper
-// calls.
+// calls, via the shared summary engine.
 func (mw *memWalker) isAllocCall(call *ast.CallExpr) bool {
-	name, obj := mw.calleeNameObj(call)
-	if name == "Alloc" && len(call.Args) == 2 && mw.ctxFirstArg(call) {
-		return true
-	}
-	if obj != nil {
-		if s, ok := mw.summaries[obj]; ok && s.fresh {
-			return true
-		}
-	}
-	return false
+	return mw.sums.isAllocLike(call)
 }
 
-// freeTarget returns the handle expression of a free-style call: a direct
-// `X.Free(c, addr)` or a callee that frees one of its parameters.
+// freeTargets returns the handle expressions of a free-style call: a direct
+// `X.Free(c, addr)` or a callee whose effect summary frees one of its
+// parameters (transitively, through any depth of helpers).
 func (mw *memWalker) freeTargets(call *ast.CallExpr) []ast.Expr {
-	name, obj := mw.calleeNameObj(call)
-	if name == "Free" && len(call.Args) == 2 && mw.ctxFirstArg(call) {
+	name, _ := calleeOf(mw.pass, call)
+	if name == "Free" && len(call.Args) == 2 && ctxFirstArg(mw.pass, call) {
 		return []ast.Expr{call.Args[1]}
 	}
-	if obj != nil {
-		if s, ok := mw.summaries[obj]; ok && len(s.freesParams) > 0 {
+	if obj := mw.sums.graph.CalleeObject(call); obj != nil {
+		if s, ok := mw.sums.memFns[obj]; ok && len(s.freesParams) > 0 {
 			var out []ast.Expr
 			for _, i := range s.freesParams {
 				if i < len(call.Args) {
@@ -238,104 +200,6 @@ func (mw *memWalker) freeTargets(call *ast.CallExpr) []ast.Expr {
 		}
 	}
 	return nil
-}
-
-// collectSummaries computes freesParams/fresh for every declared function.
-func (mw *memWalker) collectSummaries() {
-	for _, file := range mw.pass.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			var params []types.Object
-			if fd.Type.Params != nil {
-				for _, field := range fd.Type.Params.List {
-					for _, n := range field.Names {
-						params = append(params, mw.pass.TypesInfo.Defs[n])
-					}
-				}
-			}
-			s := &memSummary{}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				name, _ := mw.calleeNameObj(call)
-				if name != "Free" || len(call.Args) != 2 || !mw.ctxFirstArg(call) {
-					return true
-				}
-				id, ok := call.Args[1].(*ast.Ident)
-				if !ok {
-					return true
-				}
-				obj := mw.pass.TypesInfo.Uses[id]
-				for i, p := range params {
-					if p != nil && p == obj {
-						s.freesParams = append(s.freesParams, i)
-					}
-				}
-				return true
-			})
-			s.fresh = mw.returnsFresh(fd)
-			if len(s.freesParams) > 0 || s.fresh {
-				if obj := mw.pass.TypesInfo.Defs[fd.Name]; obj != nil {
-					mw.summaries[obj] = s
-				}
-			}
-		}
-	}
-}
-
-// returnsFresh reports whether fd hands a fresh allocation to its caller:
-// either it returns an allocator call directly, or it allocates into a
-// local whose only other uses are inside return statements.
-func (mw *memWalker) returnsFresh(fd *ast.FuncDecl) bool {
-	direct := false
-	var handle types.Object
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch s := n.(type) {
-		case *ast.ReturnStmt:
-			if len(s.Results) == 1 {
-				if call, ok := s.Results[0].(*ast.CallExpr); ok {
-					if name, _ := mw.calleeNameObj(call); name == "Alloc" && len(call.Args) == 2 && mw.ctxFirstArg(call) {
-						direct = true
-					}
-				}
-			}
-		case *ast.AssignStmt:
-			if len(s.Rhs) == 1 && len(s.Lhs) >= 1 {
-				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
-					if name, _ := mw.calleeNameObj(call); name == "Alloc" && len(call.Args) == 2 && mw.ctxFirstArg(call) {
-						if id, ok := s.Lhs[0].(*ast.Ident); ok {
-							handle = mw.pass.TypesInfo.Defs[id]
-						}
-					}
-				}
-			}
-		}
-		return true
-	})
-	if direct {
-		return true
-	}
-	if handle == nil {
-		return false
-	}
-	// Every use of the handle outside its defining assignment must sit
-	// inside a return statement.
-	fresh := true
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.ReturnStmt); ok {
-			return false // uses inside returns are fine
-		}
-		if id, ok := n.(*ast.Ident); ok && mw.pass.TypesInfo.Uses[id] == handle {
-			fresh = false
-		}
-		return true
-	})
-	return fresh
 }
 
 // analyzeBody solves the lifetime problem over one body.

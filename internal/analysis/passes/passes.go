@@ -1,4 +1,4 @@
-// Package passes implements the eight deltalint analyzers:
+// Package passes implements the nine deltalint analyzers:
 //
 //   - lockorder: builds the static lock-order graph across the tasks of
 //     each scenario and reports potential deadlock cycles — the static
@@ -25,6 +25,12 @@
 //     send/recv cycles, blocking ops with no counterparty, and tasks
 //     cascading behind already-flagged ones — the static mirror of the
 //     runtime IPC deadlock core (see DESIGN.md §12).
+//   - blocking: computes per-task worst-case blocking bounds per scenario
+//     (direct + ceiling push-through + transitive chain + kernel
+//     overhead) over the shared interprocedural summaries; emits no
+//     diagnostics — its result is written by deltalint -blocking and
+//     cross-checked against the kernel's traced block.* counters (see
+//     DESIGN.md §13).
 //
 // Findings can be acknowledged in source with comment directives:
 //
@@ -65,7 +71,23 @@ type (
 
 // All returns the full deltalint analyzer set in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind(), IPC()}
+	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind(), IPC(), Blocking()}
+}
+
+// KnownDirectives is the canonical registry of //deltalint: source
+// directives, sorted.  Every directive a pass consults must be listed here
+// (and documented in the package comment above and the README) — the
+// parity test in passes_test.go enforces both.
+func KnownDirectives() []string {
+	return []string{
+		"ceiling",
+		"deadlock-expected",
+		"global-ok",
+		"ipc-expected",
+		"memlife",
+		"ordered",
+		"partial",
+	}
 }
 
 // hasDirective reports whether a comment group contains the given

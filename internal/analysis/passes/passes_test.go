@@ -1,7 +1,10 @@
 package passes
 
 import (
+	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -84,6 +87,151 @@ func TestIPCResultKeepsExpectedFindings(t *testing.T) {
 	for _, clean := range []string{"MatchedPipeline", "BoundedVariants", "MatchedEvents", "SelfFeeder"} {
 		if s, ok := byScope[clean]; ok {
 			t.Errorf("%s reported findings on a clean topology: %+v", clean, s.Findings)
+		}
+	}
+}
+
+// The interprocedural summary engine must carry lock effects through
+// wrappers, wrapper chains, bound closures and (mutually) recursive helpers
+// — ordering facts for lockorder, pairing facts for lockpair.
+func TestSummaryEngineOrderGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), LockOrder(), "internal/summary")
+}
+
+func TestSummaryEnginePairGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), LockPair(), "internal/summarypair")
+}
+
+// The blocking pass emits no diagnostics; its golden contract is the result:
+// finite IPCP bounds with the right direct term, infinite bounds for busy
+// loops and unsupervised lock-order cycles, and finiteness restored by a
+// deadlock-expected supervisor annotation.
+func TestBlockingGolden(t *testing.T) {
+	results := analysistest.Run(t, testdata(), Blocking(), "internal/blocking")
+	res, ok := results["internal/blocking"].(*BlockingResult)
+	if !ok {
+		t.Fatalf("blocking result has type %T, want *BlockingResult", results["internal/blocking"])
+	}
+	bounds := map[string]BlockingBound{}
+	for _, b := range res.Bounds {
+		bounds[b.Scenario+"/"+b.Task] = b
+		if b.Total != b.Direct+b.Ceiling+b.Chain+b.Overhead {
+			t.Errorf("%s/%s: total %d is not the sum of its terms %d+%d+%d+%d",
+				b.Scenario, b.Task, b.Total, b.Direct, b.Ceiling, b.Chain, b.Overhead)
+		}
+	}
+
+	hi := bounds["SimpleIPCP/hi"]
+	if !hi.Finite || hi.Direct != 900 || hi.Ceiling != 900 {
+		t.Errorf("SimpleIPCP/hi: finite=%v direct=%d ceiling=%d, want finite with direct=ceiling=900 (lo's critical section)",
+			hi.Finite, hi.Direct, hi.Ceiling)
+	}
+	if strings.Join(hi.Waits, ",") != "long:0" || strings.Join(hi.DependsOn, ",") != "lo" {
+		t.Errorf("SimpleIPCP/hi: waits=%v depends_on=%v, want [long:0] [lo]", hi.Waits, hi.DependsOn)
+	}
+	lo := bounds["SimpleIPCP/lo"]
+	if !lo.Finite || lo.Direct != 0 || lo.Ceiling != 0 {
+		t.Errorf("SimpleIPCP/lo: finite=%v direct=%d ceiling=%d, want finite with no blocking terms (lowest priority)",
+			lo.Finite, lo.Direct, lo.Ceiling)
+	}
+
+	for _, task := range []string{"spin", "victim"} {
+		b := bounds["BusyLoop/"+task]
+		if b.Finite || len(b.Reasons) == 0 || !strings.Contains(b.Reasons[0], "unbounded non-blocking loop") {
+			t.Errorf("BusyLoop/%s: finite=%v reasons=%v, want infinite with an unbounded-loop reason", task, b.Finite, b.Reasons)
+		}
+	}
+	for _, task := range []string{"t1", "t2"} {
+		b := bounds["UnsupervisedCycle/"+task]
+		if b.Finite || len(b.Reasons) == 0 || !strings.Contains(b.Reasons[0], "unsupervised cyclic lock-order graph") {
+			t.Errorf("UnsupervisedCycle/%s: finite=%v reasons=%v, want infinite with a cyclic-graph reason", task, b.Finite, b.Reasons)
+		}
+	}
+	for _, task := range []string{"s1", "s2"} {
+		if b := bounds["SupervisedCycle/"+task]; !b.Finite {
+			t.Errorf("SupervisedCycle/%s: not finite (%v) despite the deadlock-expected supervisor", task, b.Reasons)
+		}
+	}
+}
+
+// readmePasses extracts the pass names from README's lint table rows
+// (lines shaped `| `name` | ... |`).
+func readmePasses(t *testing.T) []string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|")
+	var names []string
+	for _, m := range row.FindAllStringSubmatch(string(data), -1) {
+		names = append(names, m[1])
+	}
+	return names
+}
+
+// The README lint table and the registered analyzer list must name the same
+// passes, in the same order.
+func TestRegisteredPassesMatchREADME(t *testing.T) {
+	var registered []string
+	for _, a := range All() {
+		registered = append(registered, a.Name)
+	}
+	if got, want := strings.Join(readmePasses(t), ","), strings.Join(registered, ","); got != want {
+		t.Errorf("README pass table = %s\nregistered passes  = %s", got, want)
+	}
+}
+
+// Every //deltalint:<name> directive — in the README's examples and in the
+// pass sources — must be a registered KnownDirectives entry, and every known
+// directive must be documented in the README.
+func TestKnownDirectivesMatchREADMEAndSources(t *testing.T) {
+	known := map[string]bool{}
+	for _, d := range KnownDirectives() {
+		known[d] = true
+	}
+	dirRE := regexp.MustCompile(`deltalint:([a-z][a-z-]*)`)
+
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inREADME := map[string]bool{}
+	for _, m := range dirRE.FindAllStringSubmatch(string(data), -1) {
+		inREADME[m[1]] = true
+	}
+	for d := range inREADME {
+		if !known[d] {
+			t.Errorf("README documents directive %q which is not in KnownDirectives()", d)
+		}
+	}
+	var undocumented []string
+	for d := range known {
+		if !inREADME[d] {
+			undocumented = append(undocumented, d)
+		}
+	}
+	sort.Strings(undocumented)
+	if len(undocumented) > 0 {
+		t.Errorf("KnownDirectives %v are not documented in README's directive examples", undocumented)
+	}
+
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range dirRE.FindAllStringSubmatch(string(src), -1) {
+			if !known[m[1]] {
+				t.Errorf("%s references directive %q which is not in KnownDirectives()", e.Name(), m[1])
+			}
 		}
 	}
 }

@@ -1,0 +1,96 @@
+// Package blocking is golden testdata for the blocking pass: per-task
+// worst-case blocking bounds over miniature scenarios — a finite IPCP
+// pair, an unbounded busy loop, an unsupervised lock-order cycle, and the
+// same cycle under supervision.
+package blocking
+
+type TaskCtx struct{}
+
+func (c *TaskCtx) Compute(n int) {}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type Manager struct{}
+
+func (m *Manager) SetCeiling(id, ceiling int) {}
+func (m *Manager) Acquire(c *TaskCtx, id int) {}
+func (m *Manager) Release(c *TaskCtx, id int) {}
+
+const (
+	lockA = 0
+	lockB = 1
+)
+
+// SimpleIPCP: hi can be blocked for at most lo's critical section (direct
+// blocking) pushed through the programmed ceiling.  Both bounds are
+// finite.
+func SimpleIPCP(k *Kernel, m *Manager) {
+	m.SetCeiling(lockA, 1)
+	k.CreateTask("hi", 0, 1, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		c.Compute(600)
+		m.Release(c, lockA)
+	})
+	k.CreateTask("lo", 0, 2, 100, func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		c.Compute(900)
+		m.Release(c, lockA)
+	})
+}
+
+// BusyLoop spins forever with work and no blocking operation or exit: no
+// finite bound exists.
+func BusyLoop(k *Kernel, m *Manager) {
+	k.CreateTask("spin", 0, 1, 0, func(c *TaskCtx) {
+		for {
+			c.Compute(100)
+		}
+	})
+	k.CreateTask("victim", 0, 2, 0, func(c *TaskCtx) {
+		c.Compute(200)
+	})
+}
+
+// UnsupervisedCycle: conflicting lock orders with no Banker claims and no
+// deadlock-expected annotation — the tasks can deadlock, so no finite
+// blocking bound exists.
+func UnsupervisedCycle(k *Kernel, m *Manager) {
+	k.CreateTask("t1", 0, 1, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		m.Acquire(c, lockB)
+		c.Compute(300)
+		m.Release(c, lockB)
+		m.Release(c, lockA)
+	})
+	k.CreateTask("t2", 1, 2, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockB)
+		m.Acquire(c, lockA)
+		c.Compute(300)
+		m.Release(c, lockA)
+		m.Release(c, lockB)
+	})
+}
+
+// SupervisedCycle is the same conflicting order acknowledged as an
+// engineered deadlock: a supervisor (avoider/detector) bounds the
+// blocking, so the bound stays finite.
+//
+//deltalint:deadlock-expected engineered two-task cycle resolved by the supervisor
+func SupervisedCycle(k *Kernel, m *Manager) {
+	k.CreateTask("s1", 0, 1, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		m.Acquire(c, lockB)
+		c.Compute(300)
+		m.Release(c, lockB)
+		m.Release(c, lockA)
+	})
+	k.CreateTask("s2", 1, 2, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockB)
+		m.Acquire(c, lockA)
+		c.Compute(300)
+		m.Release(c, lockA)
+		m.Release(c, lockB)
+	})
+}

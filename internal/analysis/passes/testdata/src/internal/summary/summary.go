@@ -1,0 +1,138 @@
+// Package summary is golden testdata for the interprocedural summary
+// engine shared by the lock passes: lock effects must flow through
+// single-statement wrappers, locally bound closures, recursive helpers and
+// mutually-recursive SCCs without losing pairing or ordering facts — and
+// without diverging.
+package summary
+
+type TaskCtx struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type Manager struct{}
+
+func (m *Manager) Acquire(c *TaskCtx, id int) {}
+func (m *Manager) Release(c *TaskCtx, id int) {}
+
+const (
+	lockA = 0
+	lockB = 1
+)
+
+func work() {}
+
+// Single-statement lock wrappers: the summary engine classifies these as
+// lock summaries and charges their effect at each call site.
+func acquireA(m *Manager, c *TaskCtx) { m.Acquire(c, lockA) }
+func releaseA(m *Manager, c *TaskCtx) { m.Release(c, lockA) }
+func acquireB(m *Manager, c *TaskCtx) { m.Acquire(c, lockB) }
+func releaseB(m *Manager, c *TaskCtx) { m.Release(c, lockB) }
+
+// aliasAcquireA is a transitive wrapper chain: a wrapper whose body is a
+// call to another wrapper.
+func aliasAcquireA(m *Manager, c *TaskCtx) { acquireA(m, c) }
+func aliasReleaseA(m *Manager, c *TaskCtx) { releaseA(m, c) }
+
+// WrapperPairClean pairs every wrapped acquire with its wrapped release:
+// no findings.
+func WrapperPairClean(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		acquireA(m, c)
+		work()
+		releaseA(m, c)
+	})
+}
+
+// AliasPairClean pairs a two-deep wrapper chain: no findings.
+func AliasPairClean(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		aliasAcquireA(m, c)
+		work()
+		aliasReleaseA(m, c)
+	})
+}
+
+// ConflictViaWrappers closes the classic two-task cycle entirely through
+// wrappers: ordering facts must survive summarisation (true positive).
+func ConflictViaWrappers(k *Kernel, m *Manager) {
+	k.CreateTask("t1", 0, 1, 0, func(c *TaskCtx) {
+		acquireA(m, c)
+		acquireB(m, c) // want `potential deadlock: tasks of ConflictViaWrappers acquire locks in conflicting orders`
+		releaseB(m, c)
+		releaseA(m, c)
+	})
+	k.CreateTask("t2", 0, 1, 0, func(c *TaskCtx) {
+		acquireB(m, c)
+		acquireA(m, c)
+		releaseA(m, c)
+		releaseB(m, c)
+	})
+}
+
+// BoundClosureConflict binds the task bodies to local variables before
+// CreateTask sees them: the engine must resolve the locally bound closures
+// (true positive).
+func BoundClosureConflict(k *Kernel, m *Manager) {
+	body1 := func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		m.Acquire(c, lockB) // want `potential deadlock: tasks of BoundClosureConflict acquire locks in conflicting orders`
+		m.Release(c, lockB)
+		m.Release(c, lockA)
+	}
+	body2 := func(c *TaskCtx) {
+		m.Acquire(c, lockB)
+		m.Acquire(c, lockA)
+		m.Release(c, lockA)
+		m.Release(c, lockB)
+	}
+	k.CreateTask("t1", 0, 1, 0, body1)
+	k.CreateTask("t2", 0, 1, 0, body2)
+}
+
+// recurseLocks is a self-recursive helper with balanced lock use.  The
+// engine must terminate on the recursion and keep the direct effects.
+func recurseLocks(m *Manager, c *TaskCtx, depth int) {
+	if depth <= 0 {
+		return
+	}
+	m.Acquire(c, lockB)
+	recurseLocks(m, c, depth-1)
+	m.Release(c, lockB)
+}
+
+// RecursivePairClean calls the balanced recursive helper: no findings, and
+// no divergence.
+func RecursivePairClean(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		recurseLocks(m, c, 3)
+	})
+}
+
+// pingLock / pongLock form a mutually-recursive SCC with balanced lock
+// use.  The bottom-up fixpoint must converge on the component.
+func pingLock(m *Manager, c *TaskCtx, depth int) {
+	if depth <= 0 {
+		return
+	}
+	m.Acquire(c, lockA)
+	pongLock(m, c, depth-1)
+	m.Release(c, lockA)
+}
+
+func pongLock(m *Manager, c *TaskCtx, depth int) {
+	if depth <= 0 {
+		return
+	}
+	work()
+	pingLock(m, c, depth-1)
+}
+
+// MutualRecursionClean drives the SCC from a task: no findings, and the
+// analysis terminates.
+func MutualRecursionClean(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		pingLock(m, c, 4)
+	})
+}

@@ -1,0 +1,76 @@
+// Package summarypair is golden testdata for the interprocedural summary
+// engine as consumed by the lockpair pass: acquire/release pairing must
+// survive wrapper summarisation and wrapper chains, and a leak through a
+// wrapper is reported at the call site inside the task.
+package summarypair
+
+type TaskCtx struct{}
+
+type Kernel struct{}
+
+func (k *Kernel) CreateTask(name string, pe, prio, delay int, fn func(c *TaskCtx)) {}
+
+type Manager struct{}
+
+func (m *Manager) Acquire(c *TaskCtx, id int) {}
+func (m *Manager) Release(c *TaskCtx, id int) {}
+
+const (
+	lockA = 0
+	lockB = 1
+)
+
+func work() {}
+
+func acquireA(m *Manager, c *TaskCtx) { m.Acquire(c, lockA) }
+func releaseA(m *Manager, c *TaskCtx) { m.Release(c, lockA) }
+
+func aliasAcquireA(m *Manager, c *TaskCtx) { acquireA(m, c) }
+
+// WrapperMissingRelease acquires through a wrapper and never releases: the
+// summary must surface the leak at the wrapper call site (true positive).
+func WrapperMissingRelease(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		acquireA(m, c) // want `lock long:0\(lockA\) acquired here is not released on every path`
+		work()
+	})
+}
+
+// AliasMissingRelease leaks through a two-deep wrapper chain (true
+// positive).
+func AliasMissingRelease(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		aliasAcquireA(m, c) // want `lock long:0\(lockA\) acquired here is not released on every path`
+		work()
+	})
+}
+
+// WrapperPairClean pairs the wrapped acquire with the wrapped release on
+// every path, including a branch: no findings.
+func WrapperPairClean(k *Kernel, m *Manager, cond bool) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		acquireA(m, c)
+		if cond {
+			work()
+		}
+		releaseA(m, c)
+	})
+}
+
+// balancedRecursive pairs its lock across the self-recursion; the pass
+// must terminate and stay quiet.
+func balancedRecursive(m *Manager, c *TaskCtx, depth int) {
+	if depth <= 0 {
+		return
+	}
+	m.Acquire(c, lockB)
+	balancedRecursive(m, c, depth-1)
+	m.Release(c, lockB)
+}
+
+// RecursiveClean drives the balanced recursive helper: no findings.
+func RecursiveClean(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		balancedRecursive(m, c, 2)
+	})
+}

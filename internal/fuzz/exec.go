@@ -74,11 +74,12 @@ type ExecResult struct {
 
 // taskState is the executor's per-task runtime.
 type taskState struct {
-	pc        int
-	blocked   bool // an acquire is outstanding (request edge in the RAG)
-	done      bool
-	crashed   bool
-	everBlock bool
+	pc            int
+	blocked       bool // an acquire is outstanding (request edge in the RAG)
+	done          bool
+	crashed       bool
+	everBlock     bool
+	blockedRounds int // rounds spent with the acquire outstanding
 }
 
 // Exec runs a scenario to a terminal state.  oracleAll additionally checks
@@ -150,17 +151,20 @@ func Exec(sc *Scenario, st *Static, oracleAll bool) ExecResult {
 					ts.blocked = false
 					ts.pc++
 					progress = true
-				} else if !ts.blocked {
-					// First blocking attempt: the request edge appears, the
-					// only event that can close a RAG cycle.
-					g.AddRequest(op.Res, t)
-					ts.blocked = true
-					ts.everBlock = true
-					res.Blocked++
-					if res.FormRound < 0 && g.HasCycle() {
-						res.FormRound = round
-						res.CycleLen = len(g.Cycle())
+				} else {
+					if !ts.blocked {
+						// First blocking attempt: the request edge appears,
+						// the only event that can close a RAG cycle.
+						g.AddRequest(op.Res, t)
+						ts.blocked = true
+						ts.everBlock = true
+						res.Blocked++
+						if res.FormRound < 0 && g.HasCycle() {
+							res.FormRound = round
+							res.CycleLen = len(g.Cycle())
+						}
 					}
+					ts.blockedRounds++
 				}
 			} else {
 				if err := g.Release(op.Res, t); err != nil {
@@ -221,6 +225,26 @@ func Exec(sc *Scenario, st *Static, oracleAll bool) ExecResult {
 		res.Outcome = Completed
 		if deadlock {
 			mismatch("terminal: all tasks done but PDDA still reports deadlock")
+		}
+		if !st.HasCycle() {
+			// The abstract analogue of the blocking pass's worst-case bound:
+			// with an acyclic static lock-order graph, a completed run's
+			// round-robin scheduler gives every blocked task's chain a
+			// progress step each round, so a task can wait at most the other
+			// tasks' total step budget (ops + grant/terminate transitions)
+			// plus one detection period of idle slack.
+			for t := range tasks {
+				limit := cfg.DetectEvery
+				for o := range tasks {
+					if o != t {
+						limit += len(sc.Progs[o].Ops) + 2
+					}
+				}
+				if tasks[t].blockedRounds > limit {
+					mismatch("p%d blocked %d rounds, exceeding the static blocking bound %d (acyclic lock-order graph)",
+						t, tasks[t].blockedRounds, limit)
+				}
+			}
 		}
 	case round >= cfg.Fuse:
 		res.Outcome = FuseExceeded

@@ -16,6 +16,7 @@ package rtos
 
 import (
 	"fmt"
+	"strings"
 
 	"deltartos/internal/sim"
 	"deltartos/internal/trace"
@@ -89,6 +90,8 @@ type Task struct {
 	blockedOn     string
 	Restarts      int        // times the task was revived after a kill
 	KilledAt      sim.Cycles // time of the most recent kill
+	blockStart    sim.Cycles // start of the open attributed blocking episode
+	blockAttrib   bool       // a blocking episode is open (recorder attached)
 }
 
 // State returns the task's current scheduling state.
@@ -246,6 +249,7 @@ func (k *Kernel) makeReady(t *Task) {
 	if t.state == StateReady || t.state == StateRunning || t.state == StateDone || t.state == StateKilled {
 		return
 	}
+	k.endBlockEpisode(t)
 	t.state = StateReady
 	t.blockedOn = ""
 	pe := t.PE
@@ -326,9 +330,37 @@ func (k *Kernel) blockCurrent(t *Task, what string) {
 	}
 	t.state = StateBlocked
 	t.blockedOn = what
+	// Open a blocking episode for the static↔runtime cross-check: the
+	// blocked cycles accumulate into block.* trace counters when the task
+	// becomes ready again.  Injected faults ("fault:…") are excluded — they
+	// model hardware failure, not resource contention, and the static bound
+	// does not cover them.
+	if r := k.S.Rec; r != nil && !strings.HasPrefix(what, "fault:") {
+		t.blockAttrib = true
+		t.blockStart = k.S.Now()
+	}
 	k.trace(t.PE, t.Name, "block:"+what)
 	if k.current[t.PE] == t {
 		k.reschedule(t.PE)
+	}
+}
+
+// endBlockEpisode closes an open blocking episode, crediting the blocked
+// cycles to the task's block.cycles / block.count / block.max counters.
+func (k *Kernel) endBlockEpisode(t *Task) {
+	if !t.blockAttrib {
+		return
+	}
+	t.blockAttrib = false
+	r := k.S.Rec
+	if r == nil {
+		return
+	}
+	d := uint64(k.S.Now() - t.blockStart)
+	r.Count("block.cycles."+t.Name, d)
+	r.Count("block.count."+t.Name, 1)
+	if d > r.Counter("block.max."+t.Name) {
+		r.SetCounter("block.max."+t.Name, d)
 	}
 }
 
@@ -450,6 +482,7 @@ func (k *Kernel) Kill(t *Task) bool {
 
 // finishKill completes a kill from inside the victim's unwound proc.
 func (k *Kernel) finishKill(t *Task) {
+	k.endBlockEpisode(t)
 	t.state = StateKilled
 	t.blockedOn = ""
 	t.waitingOn = nil
@@ -477,6 +510,7 @@ func (k *Kernel) Restart(t *Task) error {
 	t.sleeping = false
 	t.waitingOn = nil
 	t.blockedOn = ""
+	t.blockAttrib = false
 	t.CurPrio = t.BasePrio
 	t.gen++
 	t.Restarts++
