@@ -13,19 +13,19 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the project's own static-analysis passes (lockorder, lockpair,
-# claims, ceiling, memlife, determinism, tracekind, ipc, blocking — see
-# DESIGN.md §8–§9, §12–§13, and `go run ./cmd/deltalint -help`), then
-# enforces the wall-clock budget on a full-module lint (default 3400 ms;
-# override with DELTALINT_BUDGET_MS on slower machines).
+# claims, ceiling, memlife, determinism, tracekind, ipc, blocking, races —
+# see DESIGN.md §8–§9, §12–§14, and `go run ./cmd/deltalint -list`), then
+# enforces the wall-clock budget on a full-module lint of all ten passes
+# (default 3400 ms; override with DELTALINT_BUDGET_MS on slower machines).
 lint:
 	$(GO) run ./cmd/deltalint ./...
 	$(GO) test -run '^TestDeltalintTimeBudget$$' .
 
 # lint-json is the CI artifact flavor: machine-readable findings plus the
-# inferred resource-claims manifest and the static worst-case blocking
-# bounds.
+# inferred resource-claims manifest, the static worst-case blocking
+# bounds and the shared-location guard manifest.
 lint-json:
-	$(GO) run ./cmd/deltalint -json -claims claims-manifest.json -blocking deltalint-blocking.json ./... > deltalint.json
+	$(GO) run ./cmd/deltalint -json -claims claims-manifest.json -blocking deltalint-blocking.json -races deltalint-races.json ./... > deltalint.json
 
 test:
 	$(GO) test ./...

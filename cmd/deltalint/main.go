@@ -1,7 +1,7 @@
 // Command deltalint is the project's static-analysis driver.  It runs the
 // passes of internal/analysis/passes — lockorder, lockpair, claims, ceiling,
-// memlife, determinism, tracekind, ipc and blocking — over the module and
-// prints go-vet-style diagnostics:
+// memlife, determinism, tracekind, ipc, blocking and races — over the module
+// and prints go-vet-style diagnostics:
 //
 //	file:line:col: [pass] message
 //
@@ -13,6 +13,8 @@
 //	go run ./cmd/deltalint -json ./...     # machine-readable findings (CI artifact)
 //	go run ./cmd/deltalint -claims claims.json ./...  # write the inferred claims manifest
 //	go run ./cmd/deltalint -blocking blocking.json ./...  # write worst-case blocking bounds
+//	go run ./cmd/deltalint -races races.json ./...    # write the inferred guard manifest
+//	go run ./cmd/deltalint -list           # one line per pass
 //	go run ./cmd/deltalint -help           # pass documentation
 //
 // Exit status is 1 when any diagnostic is reported, 2 on load errors.
@@ -31,6 +33,7 @@ import (
 	"deltartos/internal/analysis/framework"
 	"deltartos/internal/analysis/passes"
 	"deltartos/internal/claims"
+	"deltartos/internal/races"
 )
 
 // finding is the JSON shape of one diagnostic.  The list is sorted by
@@ -45,13 +48,15 @@ type finding struct {
 
 func main() {
 	help := flag.Bool("help", false, "print pass documentation and exit")
+	list := flag.Bool("list", false, "print one name-plus-synopsis line per pass and exit")
 	run := flag.String("run", "", "comma-separated subset of passes to run")
 	only := flag.String("only", "", "alias for -run (kept for compatibility)")
 	jsonOut := flag.Bool("json", false, "emit findings as a sorted JSON array on stdout")
 	claimsOut := flag.String("claims", "", "write the inferred resource-claims manifest to this file")
 	blockingOut := flag.String("blocking", "", "write the static worst-case blocking bounds to this file as JSON")
+	racesOut := flag.String("races", "", "write the inferred shared-location guard manifest to this file as JSON")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: deltalint [-run pass,pass] [-json] [-claims file] [-blocking file] packages...\n")
+		fmt.Fprintf(os.Stderr, "usage: deltalint [-run pass,pass] [-json] [-claims file] [-blocking file] [-races file] packages...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -60,6 +65,12 @@ func main() {
 	if *help {
 		for _, a := range analyzers {
 			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *list {
+		for _, line := range passes.Summaries() {
+			fmt.Println(line)
 		}
 		return
 	}
@@ -111,6 +122,20 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *racesOut != "" {
+		// The guard manifest comes from the races pass; make sure it is selected.
+		found := false
+		for _, a := range analyzers {
+			if a.Name == "races" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "deltalint: -races requires the races pass (add it to -run)\n")
+			os.Exit(2)
+		}
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -143,6 +168,7 @@ func main() {
 	var findings []finding
 	manifest := &claims.Manifest{Module: "deltartos"}
 	blocking := &passes.BlockingResult{Bounds: []passes.BlockingBound{}}
+	guards := &races.Manifest{Module: "deltartos", Scenarios: []races.Scenario{}}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			diags, res, err := framework.RunAnalyzer(pkg, a)
@@ -165,6 +191,9 @@ func main() {
 			}
 			if br, ok := res.(*passes.BlockingResult); ok && br != nil {
 				blocking.Bounds = append(blocking.Bounds, br.Bounds...)
+			}
+			if gm, ok := res.(*races.Manifest); ok && gm != nil {
+				guards.Scenarios = append(guards.Scenarios, gm.Scenarios...)
 			}
 		}
 	}
@@ -211,6 +240,18 @@ func main() {
 			os.Exit(2)
 		}
 		if err := os.WriteFile(*blockingOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *racesOut != "" {
+		data, err := guards.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deltalint: encode guard manifest: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*racesOut, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "deltalint: %v\n", err)
 			os.Exit(2)
 		}

@@ -57,10 +57,16 @@ type CallGraph struct {
 	// components are recursion cycles.
 	SCCs [][]*CGNode
 
-	// Aliases maps a local variable object to the function object it was
-	// assigned from (`f := helper` or `f := recv.Method` — a method
-	// value).  Calls through the alias resolve to the target's summary.
+	// Aliases maps a local variable or struct-field object to the function
+	// object it was assigned from (`f := helper`, `f := recv.Method` — a
+	// method value — or `s.f = recv.Method`).  Calls through the alias
+	// resolve to the target's summary.
 	Aliases map[types.Object]types.Object
+
+	// poisoned marks alias keys (struct fields, typically) that received
+	// conflicting or unresolvable bindings: calls through them must stay
+	// opaque rather than resolve to the wrong target.
+	poisoned map[types.Object]bool
 
 	info *types.Info
 }
@@ -70,9 +76,10 @@ type CallGraph struct {
 // syntax via the type checker's Uses map, then Tarjan condensation.
 func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
 	g := &CallGraph{
-		Nodes:   map[types.Object]*CGNode{},
-		Aliases: map[types.Object]types.Object{},
-		info:    info,
+		Nodes:    map[types.Object]*CGNode{},
+		Aliases:  map[types.Object]types.Object{},
+		poisoned: map[types.Object]bool{},
+		info:     info,
 	}
 	for _, file := range files {
 		g.collectNodes(file)
@@ -103,26 +110,36 @@ func (g *CallGraph) collectNodes(file *ast.File) {
 		if obj == nil {
 			return
 		}
-		switch v := rhs.(type) {
-		case *ast.FuncLit:
-			g.Nodes[obj] = &CGNode{Obj: obj, Lit: v, Pos: v.Pos()}
-		case *ast.Ident:
-			// Function alias: f := helper.
-			if target := g.info.Uses[v]; target != nil {
-				if _, isFunc := target.Type().(*types.Signature); isFunc {
-					g.Aliases[obj] = target
-				}
-			}
-		case *ast.SelectorExpr:
-			// Method value: f := recv.Method.
-			if sel, ok := g.info.Selections[v]; ok && sel.Kind() == types.MethodVal {
-				g.Aliases[obj] = sel.Obj()
-			} else if target := g.info.Uses[v.Sel]; target != nil {
-				if _, isFunc := target.Type().(*types.Signature); isFunc {
-					g.Aliases[obj] = target
-				}
-			}
+		if lit, ok := rhs.(*ast.FuncLit); ok {
+			g.Nodes[obj] = &CGNode{Obj: obj, Lit: lit, Pos: lit.Pos()}
+			return
 		}
+		if target := g.aliasTarget(rhs); target != nil {
+			g.Aliases[obj] = target
+		}
+	}
+	// Struct fields are shared across instances and assignments, so unlike
+	// a `:=`-defined local a field alias is kept only while every binding
+	// agrees: a second, different target (or one the resolver cannot name)
+	// poisons the field and calls through it stay opaque.
+	bindField := func(obj types.Object, rhs ast.Expr) {
+		if obj == nil || g.poisoned[obj] {
+			return
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return
+		}
+		if _, isFunc := obj.Type().Underlying().(*types.Signature); !isFunc {
+			return
+		}
+		target := g.aliasTarget(rhs)
+		if prev, bound := g.Aliases[obj]; target == nil || (bound && prev != target) {
+			delete(g.Aliases, obj)
+			g.poisoned[obj] = true
+			return
+		}
+		g.Aliases[obj] = target
 	}
 	ast.Inspect(file, func(n ast.Node) bool {
 		switch st := n.(type) {
@@ -131,8 +148,15 @@ func (g *CallGraph) collectNodes(file *ast.File) {
 				return true
 			}
 			for i, lhs := range st.Lhs {
-				if name, ok := lhs.(*ast.Ident); ok {
-					bind(name, st.Rhs[i])
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					bind(l, st.Rhs[i])
+				case *ast.SelectorExpr:
+					// Method value stored in a struct field:
+					// s.f = recv.Method.
+					if sel, ok := g.info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						bindField(sel.Obj(), st.Rhs[i])
+					}
 				}
 			}
 		case *ast.ValueSpec:
@@ -142,9 +166,79 @@ func (g *CallGraph) collectNodes(file *ast.File) {
 			for i, name := range st.Names {
 				bind(name, st.Values[i])
 			}
+		case *ast.CompositeLit:
+			// Keyed struct literals bind fields too: S{f: recv.Method}.
+			for _, el := range st.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					bindField(g.info.Uses[key], kv.Value)
+				}
+			}
 		}
 		return true
 	})
+}
+
+// aliasTarget resolves an assignment's RHS to the function object it
+// denotes — a named function, another alias, or a method value — or nil.
+func (g *CallGraph) aliasTarget(rhs ast.Expr) types.Object {
+	switch v := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		// Function alias: f := helper.
+		if target := g.info.Uses[v]; target != nil {
+			if _, isFunc := target.Type().(*types.Signature); isFunc {
+				return target
+			}
+		}
+	case *ast.SelectorExpr:
+		// Method value: f := recv.Method.
+		if sel, ok := g.info.Selections[v]; ok && sel.Kind() == types.MethodVal {
+			return sel.Obj()
+		}
+		if target := g.info.Uses[v.Sel]; target != nil {
+			if _, isFunc := target.Type().(*types.Signature); isFunc {
+				return target
+			}
+		}
+	}
+	return nil
+}
+
+// AliasedCallee resolves a call's target through the alias links alone and
+// returns the final object, even when it is not a graph node (a method
+// value from another package stored in a local or a struct field).  Direct
+// calls — no alias hop involved — return nil: their own callee name
+// already classifies them.
+func (g *CallGraph) AliasedCallee(call *ast.CallExpr) types.Object {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = g.info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := g.info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = g.info.Uses[fun.Sel]
+		}
+	}
+	seen := map[types.Object]bool{}
+	hops := 0
+	for obj != nil && !seen[obj] {
+		seen[obj] = true
+		next, ok := g.Aliases[obj]
+		if !ok {
+			break
+		}
+		obj = next
+		hops++
+	}
+	if hops == 0 {
+		return nil
+	}
+	return obj
 }
 
 // Resolve follows alias bindings (at most one hop per link, cycle-guarded)

@@ -1,0 +1,137 @@
+package framework
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// checkPkg parses and type-checks one import-free source file, returning
+// what BuildCallGraph needs.
+func checkPkg(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return file, info
+}
+
+// callIn returns the first call expression inside the named function.
+func callIn(t *testing.T, file *ast.File, fn string) *ast.CallExpr {
+	t.Helper()
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != fn {
+			continue
+		}
+		var call *ast.CallExpr
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && call == nil {
+				call = c
+			}
+			return true
+		})
+		if call == nil {
+			t.Fatalf("%s: no call found", fn)
+		}
+		return call
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+// A method value stored in a struct field must resolve through the field
+// alias: consistently bound fields resolve to the method object, while a
+// field that receives two different targets is poisoned and stays opaque.
+func TestCallGraphFieldMethodValues(t *testing.T) {
+	file, info := checkPkg(t, `
+package p
+
+type M struct{}
+
+func (m *M) Acquire(id int) {}
+func (m *M) Release(id int) {}
+
+type ops struct {
+	acq func(id int)
+}
+
+type amb struct {
+	op func(id int)
+}
+
+func consistent(m *M) {
+	var o ops
+	o.acq = m.Acquire
+	o.acq(1)
+}
+
+func literalBound(m *M) {
+	o := ops{acq: m.Acquire}
+	o.acq(2)
+}
+
+func conflicting(m *M, swap bool) {
+	var a amb
+	a.op = m.Acquire
+	if swap {
+		a.op = m.Release
+	}
+	a.op(3)
+}
+`)
+	g := BuildCallGraph([]*ast.File{file}, info)
+
+	for _, fn := range []string{"consistent", "literalBound"} {
+		target := g.AliasedCallee(callIn(t, file, fn))
+		if target == nil || target.Name() != "Acquire" {
+			t.Errorf("%s: field call resolved to %v, want the Acquire method value", fn, target)
+		}
+	}
+	if target := g.AliasedCallee(callIn(t, file, "conflicting")); target != nil {
+		t.Errorf("conflicting: poisoned field still resolved to %v, want opaque", target)
+	}
+}
+
+// AliasedCallee must require at least one alias hop: a direct method call
+// resolves by its own name and returns nil here.
+func TestCallGraphAliasedCalleeDirectCallIsNil(t *testing.T) {
+	file, info := checkPkg(t, `
+package p
+
+type M struct{}
+
+func (m *M) Acquire(id int) {}
+
+func direct(m *M) {
+	m.Acquire(1)
+}
+
+func local(m *M) {
+	f := m.Acquire
+	f(2)
+}
+`)
+	g := BuildCallGraph([]*ast.File{file}, info)
+	if target := g.AliasedCallee(callIn(t, file, "direct")); target != nil {
+		t.Errorf("direct call resolved through AliasedCallee to %v, want nil", target)
+	}
+	if target := g.AliasedCallee(callIn(t, file, "local")); target == nil || target.Name() != "Acquire" {
+		t.Errorf("local method value resolved to %v, want Acquire", target)
+	}
+}

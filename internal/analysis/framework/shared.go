@@ -1,0 +1,245 @@
+package framework
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// constIndexValue extracts a constant integer index, if the expression
+// folded to one.
+func constIndexValue(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// Shared abstract locations.
+//
+// The races pass needs a syntactic/typed notion of "a piece of state that
+// several task closures can touch": a variable captured by closures, a
+// field path rooted at such a variable, a constant-index element of a
+// captured slice/array, or package-level state.  This file classifies the
+// location accesses of an AST fragment; the passes layer decides which
+// locations count as shared (≥2 concurrent units) and what lock evidence
+// each access carries.
+
+// Location kinds.
+const (
+	SharedCaptured = "captured" // function-local var reached from a closure
+	SharedGlobal   = "global"   // package-level var
+	SharedField    = "field"    // field path rooted at a var ("w.Completed")
+	SharedElement  = "element"  // constant-index element ("done[0]")
+)
+
+// SharedLoc identifies one abstract location.  Locations are compared by
+// Key within one scope; Root carries the identity of the base variable for
+// capture/exclusion tests and Decl the position its declaration (and any
+// guard directive) lives at.
+type SharedLoc struct {
+	Key  string // display name: "deadlinesMet", "w.Completed", "done[0]", "pkg.Var"
+	Kind string
+	Root types.Object // base variable (never nil)
+	Fld  types.Object // field object for SharedField paths (outermost), else nil
+}
+
+// SharedAccess is one read or write of a location.
+type SharedAccess struct {
+	Loc   SharedLoc
+	Write bool
+	Pos   token.Pos
+}
+
+// SharedIndex classifies location accesses for one package.
+type SharedIndex struct {
+	info *types.Info
+	pkg  *types.Package
+}
+
+// NewSharedIndex builds the classifier.
+func NewSharedIndex(info *types.Info, pkg *types.Package) *SharedIndex {
+	return &SharedIndex{info: info, pkg: pkg}
+}
+
+// trackable reports whether obj is a variable whose accesses are worth
+// recording: non-blank, not a struct field handled via paths, and not of
+// function type (closure values are call-graph concerns, not data).
+func (ix *SharedIndex) trackable(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Name() == "_" || v.IsField() {
+		return false
+	}
+	if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+		return false
+	}
+	return true
+}
+
+// locOfIdent classifies a plain identifier use.
+func (ix *SharedIndex) locOfIdent(id *ast.Ident) (SharedLoc, bool) {
+	obj := ix.info.Uses[id]
+	if obj == nil || !ix.trackable(obj) {
+		return SharedLoc{}, false
+	}
+	kind := SharedCaptured
+	key := obj.Name()
+	if obj.Parent() == ix.pkg.Scope() {
+		kind = SharedGlobal
+		key = ix.pkg.Name() + "." + obj.Name()
+	}
+	return SharedLoc{Key: key, Kind: kind, Root: obj}, true
+}
+
+// locOfSelector classifies a selector chain.  It returns ok=false for
+// method values/calls and for chains it cannot root at a variable (the
+// caller then descends into the children normally).
+func (ix *SharedIndex) locOfSelector(sel *ast.SelectorExpr) (SharedLoc, bool) {
+	// Qualified identifier: pkg.Var — package-level state of another package.
+	if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if pn, ok := ix.info.Uses[base].(*types.PkgName); ok {
+			obj := ix.info.Uses[sel.Sel]
+			if obj == nil || !ix.trackable(obj) {
+				return SharedLoc{}, false
+			}
+			return SharedLoc{Key: pn.Imported().Name() + "." + obj.Name(), Kind: SharedGlobal, Root: obj}, true
+		}
+	}
+	s, ok := ix.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return SharedLoc{}, false
+	}
+	fld := s.Obj()
+	// Peel the chain down to a base identifier; bail on anything else
+	// (calls, indexing, derefs inside the path).
+	path := []string{sel.Sel.Name}
+	x := ast.Unparen(sel.X)
+	for {
+		switch v := x.(type) {
+		case *ast.SelectorExpr:
+			vs, ok := ix.info.Selections[v]
+			if !ok || vs.Kind() != types.FieldVal {
+				return SharedLoc{}, false
+			}
+			path = append([]string{v.Sel.Name}, path...)
+			x = ast.Unparen(v.X)
+		case *ast.Ident:
+			root := ix.info.Uses[v]
+			if root == nil || !ix.trackable(root) {
+				return SharedLoc{}, false
+			}
+			return SharedLoc{
+				Key:  v.Name + "." + strings.Join(path, "."),
+				Kind: SharedField,
+				Root: root,
+				Fld:  fld,
+			}, true
+		default:
+			return SharedLoc{}, false
+		}
+	}
+}
+
+// locOfIndex classifies a constant-index expression over a plain variable
+// ("done[0]") as its own element location.
+func (ix *SharedIndex) locOfIndex(e *ast.IndexExpr) (SharedLoc, bool) {
+	base, ok := ast.Unparen(e.X).(*ast.Ident)
+	if !ok {
+		return SharedLoc{}, false
+	}
+	root, ok := ix.locOfIdent(base)
+	if !ok {
+		return SharedLoc{}, false
+	}
+	tv, ok := ix.info.Types[e.Index]
+	if !ok || tv.Value == nil {
+		return SharedLoc{}, false
+	}
+	iv, ok := constIndexValue(tv)
+	if !ok {
+		return SharedLoc{}, false
+	}
+	return SharedLoc{
+		Key:  root.Key + "[" + strconv.FormatInt(iv, 10) + "]",
+		Kind: SharedElement,
+		Root: root.Root,
+	}, true
+}
+
+// AccessesIn walks one node — without descending into function literals —
+// and returns the location accesses it performs, in source order.  Write
+// classification is conservative: assignment targets, inc/dec operands and
+// address-taken operands count as writes; everything else is a read.
+// Derefs of pointer-typed expressions and non-constant indexing collapse
+// onto the base variable's location.
+func (ix *SharedIndex) AccessesIn(root ast.Node) []SharedAccess {
+	// First pass: mark the expressions in write position, propagating the
+	// mark down composite lvalues (w.arr[i].f = v writes w.arr too).
+	writes := map[ast.Expr]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, l := range s.Lhs {
+				writes[l] = true
+			}
+		case *ast.IncDecStmt:
+			writes[s.X] = true
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				writes[s.X] = true
+			}
+		}
+		return true
+	})
+	propagate := func(from, to ast.Expr) {
+		if writes[from] {
+			writes[to] = true
+		}
+	}
+
+	var out []SharedAccess
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if loc, ok := ix.locOfIdent(e); ok {
+				out = append(out, SharedAccess{Loc: loc, Write: writes[e], Pos: e.Pos()})
+			}
+			return false
+		case *ast.SelectorExpr:
+			if loc, ok := ix.locOfSelector(e); ok {
+				out = append(out, SharedAccess{Loc: loc, Write: writes[e], Pos: e.Pos()})
+				return false
+			}
+			if s, ok := ix.info.Selections[e]; ok && s.Kind() == types.MethodVal {
+				// Method value/call: the receiver evaluation is not a data
+				// access we model.
+				return false
+			}
+			propagate(e, e.X)
+			return true
+		case *ast.IndexExpr:
+			if loc, ok := ix.locOfIndex(e); ok {
+				out = append(out, SharedAccess{Loc: loc, Write: writes[e], Pos: e.Pos()})
+				// The index is constant; nothing else to visit.
+				return false
+			}
+			propagate(e, e.X)
+			return true
+		case *ast.StarExpr:
+			propagate(e, e.X)
+			return true
+		case *ast.ParenExpr:
+			propagate(e, e.X)
+			return true
+		}
+		return true
+	})
+	return out
+}

@@ -108,7 +108,19 @@ func (s *summaries) localLit(obj types.Object) *ast.FuncLit {
 // following aliases and method values, or nil.
 func (s *summaries) resolveLockOps(call *ast.CallExpr) []lockOp {
 	if obj := s.graph.CalleeObject(call); obj != nil {
-		return s.lockOps[obj]
+		if ops, ok := s.lockOps[obj]; ok {
+			return ops
+		}
+	}
+	// A call through an alias chain — a method value stored in a local or
+	// a struct field — resolves to the target's name; the lock surfaces
+	// whose identity lives in the arguments classify with the call-site
+	// args.  Mutex Lock/Unlock is excluded: its identity is the receiver,
+	// which the alias has detached from the call site.
+	if target := s.graph.AliasedCallee(call); target != nil {
+		if name := target.Name(); name != "Lock" && name != "Unlock" {
+			return classifyLockOpsNamed(s.pass, name, call)
+		}
 	}
 	return nil
 }
@@ -376,6 +388,13 @@ func constIntOf(pass *Pass, e ast.Expr) (int64, string, bool) {
 // performs (see the lock-surface table at the top of lockwalk.go).
 func classifyLockOps(pass *Pass, call *ast.CallExpr) []lockOp {
 	name, _ := calleeOf(pass, call)
+	return classifyLockOpsNamed(pass, name, call)
+}
+
+// classifyLockOpsNamed classifies the call under an explicit callee name —
+// the call site's own for direct calls, the alias target's for calls
+// through method values.
+func classifyLockOpsNamed(pass *Pass, name string, call *ast.CallExpr) []lockOp {
 	if name == "" || !ctxFirstArg(pass, call) {
 		return nil
 	}

@@ -347,6 +347,9 @@ func (p *bodyProblem) Equal(a, b any) bool { return equalFacts(a.(*flowFact), b.
 func (p *bodyProblem) Transfer(b *framework.Block, in any) any {
 	f := in.(*flowFact).clone()
 	for _, n := range b.Nodes {
+		if p.sf.w.onNode != nil {
+			p.sf.w.onNode(p.sf.task, n, f)
+		}
 		f = p.sf.processNode(n, f)
 	}
 	return f

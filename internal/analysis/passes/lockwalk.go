@@ -77,6 +77,12 @@ type lockScope struct {
 type lockWalker struct {
 	pass *Pass
 	sums *summaries
+	// onNode, when set, observes every CFG node of the flow engine with the
+	// fact in effect before the node's calls are interpreted — the races
+	// pass's access-recording hook.  Inlined bound literals are observed
+	// under the calling task, so accesses through the telemetry/withFrame
+	// idiom attribute to the task that runs them.
+	onNode func(task *taskInfo, n ast.Node, f *flowFact)
 }
 
 func newLockWalker(pass *Pass) *lockWalker {

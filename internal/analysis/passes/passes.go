@@ -1,4 +1,4 @@
-// Package passes implements the nine deltalint analyzers:
+// Package passes implements the ten deltalint analyzers:
 //
 //   - lockorder: builds the static lock-order graph across the tasks of
 //     each scenario and reports potential deadlock cycles — the static
@@ -31,6 +31,12 @@
 //     diagnostics — its result is written by deltalint -blocking and
 //     cross-checked against the kernel's traced block.* counters (see
 //     DESIGN.md §13).
+//   - races: Eraser-style lockset analysis over scenario task closures —
+//     infers each shared location's guard set by intersecting the locks
+//     held at every access and reports locations whose candidate lockset
+//     goes empty; emits the guard manifest for deltalint -races and is
+//     cross-checked against the runtime shadow-lockset auditor (see
+//     DESIGN.md §14).
 //
 // Findings can be acknowledged in source with comment directives:
 //
@@ -52,6 +58,14 @@
 //	//deltalint:ipc-expected <why> on a scenario function whose message
 //	                               topology is intentionally fragile (the
 //	                               chaos-campaign rings)
+//	//deltalint:guardedby(<lock>)  on a shared variable or struct-field
+//	                               declaration, naming the canonical lock
+//	                               key(s) every access must hold
+//	//deltalint:race-expected <why> on a racy location's declaration, an
+//	                               access line or the scenario doc, when the
+//	                               race is intentional (statistics counters
+//	                               whose increments are atomic in the
+//	                               discrete-event model)
 package passes
 
 import (
@@ -71,7 +85,23 @@ type (
 
 // All returns the full deltalint analyzer set in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind(), IPC(), Blocking()}
+	return []*Analyzer{LockOrder(), LockPair(), Claims(), Ceiling(), MemLife(), Determinism(), TraceKind(), IPC(), Blocking(), Races()}
+}
+
+// Summaries returns one "name: synopsis" line per registered analyzer, in
+// reporting order, where the synopsis is the first line of the pass Doc.
+// This is the deltalint -list output; the parity test pins the README pass
+// table against it.
+func Summaries() []string {
+	var out []string
+	for _, a := range All() {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		out = append(out, a.Name+": "+doc)
+	}
+	return out
 }
 
 // KnownDirectives is the canonical registry of //deltalint: source
@@ -83,10 +113,12 @@ func KnownDirectives() []string {
 		"ceiling",
 		"deadlock-expected",
 		"global-ok",
+		"guardedby",
 		"ipc-expected",
 		"memlife",
 		"ordered",
 		"partial",
+		"race-expected",
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"deltartos/internal/analysis/analysistest"
+	"deltartos/internal/races"
 )
 
 func testdata() string { return filepath.Join("testdata", "src") }
@@ -154,6 +155,63 @@ func TestBlockingGolden(t *testing.T) {
 	}
 }
 
+func TestRacesGolden(t *testing.T) {
+	analysistest.Run(t, testdata(), Races(), "internal/races")
+}
+
+// The races result is the guard manifest the runtime cross-check consumes:
+// it must record inferred guards, keep racy locations suppressed by
+// //deltalint:race-expected, and carry declared-guard violations.
+func TestRacesResultKeepsExpectedFindings(t *testing.T) {
+	results := analysistest.Run(t, testdata(), Races(), "internal/races")
+	res, ok := results["internal/races"].(*races.Manifest)
+	if !ok {
+		t.Fatalf("races result has type %T, want *races.Manifest", results["internal/races"])
+	}
+
+	locOf := func(scenario, name string) *races.Location {
+		t.Helper()
+		sc := res.Scenario(scenario)
+		if sc == nil {
+			t.Fatalf("scenario %s missing from the manifest", scenario)
+		}
+		for i := range sc.Locations {
+			if sc.Locations[i].Name == name {
+				return &sc.Locations[i]
+			}
+		}
+		t.Fatalf("%s: location %s missing from the manifest", scenario, name)
+		return nil
+	}
+
+	if l := locOf("GuardInference", "counter"); l.Racy || strings.Join(l.Guards, ",") != "long:0" {
+		t.Errorf("GuardInference/counter: racy=%v guards=%v, want inferred guard long:0", l.Racy, l.Guards)
+	}
+	if l := locOf("EmptyLockset", "counter"); !l.Racy || l.Expected {
+		t.Errorf("EmptyLockset/counter: racy=%v expected=%v, want an unacknowledged race", l.Racy, l.Expected)
+	}
+	if l := locOf("RaceExpected", "hits"); !l.Racy || !l.Expected {
+		t.Errorf("RaceExpected/hits: racy=%v expected=%v, want racy and expected (suppressed diagnostic, visible flag)", l.Racy, l.Expected)
+	}
+	if l := locOf("GuardedChecking", "state"); !l.Racy || strings.Join(l.Declared, ",") != "long:0" {
+		t.Errorf("GuardedChecking/state: racy=%v declared=%v, want a flagged declared-guard violation", l.Racy, l.Declared)
+	}
+	if l := locOf("GuardedDeclaredClean", "state"); l.Racy {
+		t.Errorf("GuardedDeclaredClean/state: racy despite every access holding the declared guard")
+	}
+	if l := locOf("InterprocAttribution", "total"); !l.Racy || strings.Join(l.Tasks, ",") != "t1,t2" {
+		t.Errorf("InterprocAttribution/total: racy=%v tasks=%v, want a race attributed to the calling tasks t1,t2", l.Racy, l.Tasks)
+	}
+	if l := locOf("InterprocGuarded", "total"); l.Racy || strings.Join(l.Guards, ",") != "long:0" {
+		t.Errorf("InterprocGuarded/total: racy=%v guards=%v, want long:0 inferred through the wrapper summaries", l.Racy, l.Guards)
+	}
+	if sc := res.Scenario("SingleTask"); sc != nil {
+		for _, l := range sc.Locations {
+			t.Errorf("SingleTask: %s in the manifest despite a single accessing closure", l.Name)
+		}
+	}
+}
+
 // readmePasses extracts the pass names from README's lint table rows
 // (lines shaped `| `name` | ... |`).
 func readmePasses(t *testing.T) []string {
@@ -171,7 +229,9 @@ func readmePasses(t *testing.T) []string {
 }
 
 // The README lint table and the registered analyzer list must name the same
-// passes, in the same order.
+// passes, in the same order — and the `deltalint -list` output (Summaries)
+// must cover exactly that list, one well-formed "name: synopsis" line per
+// pass.
 func TestRegisteredPassesMatchREADME(t *testing.T) {
 	var registered []string
 	for _, a := range All() {
@@ -179,6 +239,20 @@ func TestRegisteredPassesMatchREADME(t *testing.T) {
 	}
 	if got, want := strings.Join(readmePasses(t), ","), strings.Join(registered, ","); got != want {
 		t.Errorf("README pass table = %s\nregistered passes  = %s", got, want)
+	}
+	summaries := Summaries()
+	if len(summaries) != len(registered) {
+		t.Fatalf("Summaries() has %d lines, want one per registered pass (%d)", len(summaries), len(registered))
+	}
+	for i, line := range summaries {
+		name, synopsis, ok := strings.Cut(line, ": ")
+		if !ok || name != registered[i] {
+			t.Errorf("Summaries()[%d] = %q, want a %q line shaped \"name: synopsis\"", i, line, registered[i])
+			continue
+		}
+		if strings.TrimSpace(synopsis) == "" || strings.Contains(synopsis, "\n") {
+			t.Errorf("Summaries()[%d] synopsis %q must be one non-empty line", i, synopsis)
+		}
 	}
 }
 

@@ -148,3 +148,26 @@ func HelperClosure(m *Manager, c *TaskCtx) {
 	report()
 	m.Release(c, lockA)
 }
+
+// DeferInLoop registers the release via a defer inside a loop body that
+// always executes: the deferred release fires at function exit, so the
+// acquire is balanced (no report).
+func DeferInLoop(m *Manager, c *TaskCtx) {
+	m.Acquire(c, lockA)
+	for {
+		defer m.Release(c, lockA)
+		break
+	}
+	work()
+}
+
+// DeferInConditionalLoop registers the deferred release inside a loop that
+// can run zero times: the zero-iteration path never registers the release,
+// a genuine conditional leak (true positive).
+func DeferInConditionalLoop(m *Manager, c *TaskCtx, n int) {
+	m.Acquire(c, lockA) // want `lock long:0\(lockA\) acquired here is not released on every path`
+	for i := 0; i < n; i++ {
+		defer m.Release(c, lockA)
+	}
+	work()
+}

@@ -136,3 +136,45 @@ func MutualRecursionClean(k *Kernel, m *Manager) {
 		pingLock(m, c, 4)
 	})
 }
+
+// tableOps is the callback-table idiom: lock-manager method values stored
+// in struct fields.  Ordering facts must survive the field indirection.
+type tableOps struct {
+	acq func(c *TaskCtx, id int)
+	rel func(c *TaskCtx, id int)
+}
+
+// FieldMethodValueConflict closes the classic two-task A->B / B->A cycle
+// entirely through field-stored method values (true positive).
+func FieldMethodValueConflict(k *Kernel, m *Manager) {
+	ops := tableOps{acq: m.Acquire, rel: m.Release}
+	k.CreateTask("t1", 0, 1, 0, func(c *TaskCtx) {
+		ops.acq(c, lockA)
+		ops.acq(c, lockB) // want `potential deadlock: tasks of FieldMethodValueConflict acquire locks in conflicting orders`
+		ops.rel(c, lockB)
+		ops.rel(c, lockA)
+	})
+	k.CreateTask("t2", 0, 1, 0, func(c *TaskCtx) {
+		ops.acq(c, lockB)
+		ops.acq(c, lockA)
+		ops.rel(c, lockA)
+		ops.rel(c, lockB)
+	})
+}
+
+// DeferInLoopOrderClean takes the locks in one global order and releases
+// them through defers registered inside a loop: the deferred ops must not
+// be dropped, and no ordering conflict exists (no findings).
+func DeferInLoopOrderClean(k *Kernel, m *Manager, n int) {
+	k.CreateTask("t1", 0, 1, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		for i := 0; i < n; i++ {
+			defer m.Release(c, lockA)
+		}
+		work()
+	})
+	k.CreateTask("t2", 0, 1, 0, func(c *TaskCtx) {
+		m.Acquire(c, lockA)
+		m.Release(c, lockA)
+	})
+}

@@ -74,3 +74,92 @@ func RecursiveClean(k *Kernel, m *Manager) {
 		balancedRecursive(m, c, 2)
 	})
 }
+
+// fieldOps stores the manager's method values in struct fields — the
+// callback-table idiom.  Calls through the fields must resolve to the
+// underlying lock operations.
+type fieldOps struct {
+	acq func(c *TaskCtx, id int)
+	rel func(c *TaskCtx, id int)
+}
+
+// FieldMethodValueLeak acquires through a field-stored method value and
+// never releases (true positive).
+func FieldMethodValueLeak(k *Kernel, m *Manager) {
+	var ops fieldOps
+	ops.acq = m.Acquire
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		ops.acq(c, lockA) // want `lock long:0\(lockA\) acquired here is not released on every path`
+		work()
+	})
+}
+
+// FieldMethodValuePairClean pairs through both field-stored method values,
+// one bound by assignment and one by a keyed composite literal: no
+// findings.
+func FieldMethodValuePairClean(k *Kernel, m *Manager) {
+	ops := fieldOps{rel: m.Release}
+	ops.acq = m.Acquire
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		ops.acq(c, lockA)
+		work()
+		ops.rel(c, lockA)
+	})
+}
+
+// conflictOps is a separate table type whose field receives conflicting
+// targets.  Field objects are shared per type, so the conflicting
+// bindings poison the field: calls through it must stay opaque — neither
+// a bogus acquire nor a bogus release, hence no findings either way.
+type conflictOps struct {
+	op func(c *TaskCtx, id int)
+}
+
+func FieldMethodValueConflict(k *Kernel, m *Manager, swap bool) {
+	var ops conflictOps
+	ops.op = m.Acquire
+	if swap {
+		ops.op = m.Release
+	}
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		ops.op(c, lockA)
+		work()
+	})
+}
+
+// LocalMethodValueLeak acquires through a plain local method value — the
+// single-hop alias the field case generalizes (true positive).
+func LocalMethodValueLeak(k *Kernel, m *Manager) {
+	acq := m.Acquire
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		acq(c, lockA) // want `lock long:0\(lockA\) acquired here is not released on every path`
+		work()
+	})
+}
+
+// WrapperDeferInLoop registers the wrapped release via a defer inside a
+// loop body that always executes: the deferred release is not dropped by
+// the iteration, so the wrapped acquire is balanced (no findings).
+func WrapperDeferInLoop(k *Kernel, m *Manager) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		acquireA(m, c)
+		for {
+			defer releaseA(m, c)
+			break
+		}
+		work()
+	})
+}
+
+// WrapperDeferInConditionalLoop registers the deferred release inside a
+// loop that can run zero times: on the zero-iteration path the release is
+// never registered, which is a genuine conditional leak (true positive).
+func WrapperDeferInConditionalLoop(k *Kernel, m *Manager, n int) {
+	k.CreateTask("t", 0, 1, 0, func(c *TaskCtx) {
+		acquireA(m, c) // want `lock long:0\(lockA\) acquired here is not released on every path`
+		for i := 0; i < n; i++ {
+			defer releaseA(m, c)
+		}
+		work()
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"deltartos/internal/claims"
 	"deltartos/internal/daa"
 	"deltartos/internal/dau"
+	"deltartos/internal/races"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 	"deltartos/internal/trace"
@@ -223,6 +224,9 @@ type AvoidanceWorld struct {
 	// Audit records every (task, resource) hold actually granted, for the
 	// runtime-vs-static-claims cross-check.
 	Audit *claims.Audit
+	// Races, when attached, shadows every resource grant and release for
+	// the runtime lockset auditor (the races-pass cross-check); nil-safe.
+	Races *races.Auditor
 }
 
 // NewAvoidanceWorld builds a 4-PE world with the standard devices.
@@ -231,12 +235,24 @@ func NewAvoidanceWorld(b AvoidanceBackend, opts ...Option) *AvoidanceWorld {
 	w := &AvoidanceWorld{S: s, K: rtos.NewKernel(s, 4), B: b, devices: sim.StandardDevices(s)}
 	w.tasks = make([]*rtos.Task, 4)
 	w.Audit = claims.NewAudit()
+	w.Races = raceAuditorOf(opts)
 	return w
 }
 
 // recordHold books that the calling task now holds resource q.
 func (w *AvoidanceWorld) recordHold(c *rtos.TaskCtx, q int) {
 	w.Audit.Record(c.Task().Name, claims.ResourceKey("res", q))
+	w.Races.Acquire(c.Task().Name, claims.ResourceKey("res", q))
+}
+
+// taskName resolves process p's task name, falling back to the invoking
+// context (releases always run on behalf of some process, but the giveup
+// compliance loop issues them from the complying task's own context).
+func (w *AvoidanceWorld) taskName(p int, fallback string) string {
+	if p >= 0 && p < len(w.tasks) && w.tasks[p] != nil {
+		return w.tasks[p].Name
+	}
+	return fallback
 }
 
 // Device returns resource q's device.
@@ -321,6 +337,7 @@ func (w *AvoidanceWorld) Release(c *rtos.TaskCtx, p, q int) {
 
 func (w *AvoidanceWorld) release(c *rtos.TaskCtx, p, q int) {
 	res, cost := w.B.ReleaseOp(p, q)
+	w.Races.Release(w.taskName(p, c.Task().Name), claims.ResourceKey("res", q))
 	c.ChargeCompute(cost)
 	verdict := "free"
 	if res.GrantedTo >= 0 {
@@ -352,6 +369,7 @@ func (w *AvoidanceWorld) askOwner(owner, q int) {
 			return // already released
 		}
 		res, cost := w.B.ReleaseOp(owner, q)
+		w.Races.Release(w.taskName(owner, p.Name), claims.ResourceKey("res", q))
 		p.Delay(cost)
 		verdict := "free"
 		if res.GrantedTo >= 0 {
@@ -421,6 +439,7 @@ func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Option)
 		w.Release(c, 0, resVI)   // t4
 		w.Release(c, 0, resIDCT) // t4/t5: DAU detects potential G-dl here
 		done[0] = true
+		w.Races.Access(c.Task().Name, "done[0]", true)
 	})
 	// p3: frame conversion + wireless send (t2, t6).
 	w.tasks[2] = w.K.CreateTask("p3", 2, 3, p3RequestAt, func(c *rtos.TaskCtx) {
@@ -430,6 +449,7 @@ func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Option)
 		w.Release(c, 2, resIDCT) // t6
 		w.Release(c, 2, resWI)   // t6
 		done[2] = true
+		w.Races.Access(c.Task().Name, "done[2]", true)
 	})
 	// p2: competing pipeline (t3, t7, t8).
 	w.tasks[1] = w.K.CreateTask("p2", 1, 2, p2RequestAt, func(c *rtos.TaskCtx) {
@@ -439,6 +459,7 @@ func RunGrantDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Option)
 		w.Release(c, 1, resIDCT) // t8
 		w.Release(c, 1, resWI)
 		done[1] = true
+		w.Races.Access(c.Task().Name, "done[1]", true)
 	})
 
 	end := w.S.Run()
@@ -482,6 +503,7 @@ func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Optio
 		w.Release(c, 0, resVI)   // t8
 		w.Release(c, 0, resIDCT) // t8
 		done[0] = true
+		w.Races.Access(c.Task().Name, "done[0]", true)
 	})
 	// p2 needs q2 (IDCT) and q3 (DSP).
 	w.tasks[1] = w.K.CreateTask("p2", 1, 2, 900, func(c *rtos.TaskCtx) {
@@ -496,6 +518,7 @@ func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Optio
 		w.Release(c, 1, resIDCT) // t10
 		w.Release(c, 1, resDSP)
 		done[1] = true
+		w.Races.Access(c.Task().Name, "done[1]", true)
 	})
 	// p3 needs q3 (DSP) and q1 (VI).
 	w.tasks[2] = w.K.CreateTask("p3", 2, 3, 1800, func(c *rtos.TaskCtx) {
@@ -507,6 +530,7 @@ func RunRequestDeadlockScenario(mkBackend func() AvoidanceBackend, opts ...Optio
 		w.Release(c, 2, resVI)  // t9
 		w.Release(c, 2, resDSP) // t9
 		done[2] = true
+		w.Races.Access(c.Task().Name, "done[2]", true)
 	})
 
 	w.S.Run()

@@ -48,6 +48,7 @@ type ChaosWorld struct {
 
 	// AllocFailures counts Alloc errors task bodies absorbed (allocation
 	// pressure from leaked blocks shows up here, not as a crash).
+	//deltalint:race-expected statistics counter; increments are atomic in the discrete-event model
 	AllocFailures int
 	// IRQServices counts IDCT interrupt-service activations, real and
 	// spurious alike.
@@ -64,8 +65,10 @@ type ChaosWorld struct {
 // allocation failure is absorbed, so a recovery-restarted task replays
 // cleanly.
 func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, opts ...Option) *ChaosWorld {
+	aud := raceAuditorOf(opts)
 	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 4)
+	k.Races = aud
 	locks := mkLocks(k)
 	shorts := locks.(shortLocker)
 	mem, err := socdmmu.New(socdmmu.Config{TotalBytes: 1 << 20, BlockBytes: 64 << 10, PEs: 4})
@@ -78,8 +81,10 @@ func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, opts ...Opti
 	switch m := locks.(type) {
 	case *soclc.SoftwareLocks:
 		m.Audit = w.Audit
+		m.Races = aud
 	case *soclc.LockCache:
 		m.Audit = w.Audit
+		m.Races = aud
 	}
 
 	const (
@@ -96,6 +101,7 @@ func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, opts ...Opti
 		for {
 			idct.IRQ.Wait(p)
 			w.IRQServices++
+			aud.Access(p.Name, "w.IRQServices", true)
 			s.Bus.Read(p, 1)
 			p.Delay(sim.InterruptEntryCycles + chaosISRCycles)
 		}
@@ -119,6 +125,7 @@ func BuildChaosScenario(mkLocks func(k *rtos.Kernel) soclc.Manager, opts ...Opti
 		fn()
 		if err != nil {
 			w.AllocFailures++
+			aud.Access(c.Task().Name, "w.AllocFailures", true)
 			return
 		}
 		mem.Free(c, addr)

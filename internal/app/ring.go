@@ -37,11 +37,14 @@ type RingWorld struct {
 	Done *rtos.EventFlags
 
 	// Completed counts ring tasks that finished all their rounds.
+	//deltalint:race-expected statistics counter; increments are atomic in the discrete-event model
 	Completed int
 	// Regenerated counts tokens the timeout variant re-minted after a
 	// bounded recv exhausted its retries (a lost-token symptom).
+	//deltalint:race-expected statistics counter; increments are atomic in the discrete-event model
 	Regenerated int
 	// SendFailures counts bounded sends that exhausted their retries.
+	//deltalint:race-expected statistics counter; increments are atomic in the discrete-event model
 	SendFailures int
 }
 
@@ -52,6 +55,7 @@ type RingWorld struct {
 //
 //deltalint:ipc-expected the blocking ring is a send/recv cycle: message loss can wedge it
 func BuildRingScenario(opts ...Option) *RingWorld {
+	aud := raceAuditorOf(opts)
 	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 4)
 	q0 := k.NewQueue("ring.q0", 1)
@@ -69,6 +73,7 @@ func BuildRingScenario(opts ...Option) *RingWorld {
 			q1.Send(c, 0)
 		}
 		w.Completed++
+		aud.Access(c.Task().Name, "w.Completed", true)
 		done.Set(c, 1<<0)
 	})
 	t1 := k.CreateTask("ring1", 1, 1, 0, func(c *rtos.TaskCtx) {
@@ -79,6 +84,7 @@ func BuildRingScenario(opts ...Option) *RingWorld {
 			q2.Send(c, 1)
 		}
 		w.Completed++
+		aud.Access(c.Task().Name, "w.Completed", true)
 		done.Set(c, 1<<1)
 	})
 	t2 := k.CreateTask("ring2", 2, 1, 0, func(c *rtos.TaskCtx) {
@@ -89,6 +95,7 @@ func BuildRingScenario(opts ...Option) *RingWorld {
 			q3.Send(c, 2)
 		}
 		w.Completed++
+		aud.Access(c.Task().Name, "w.Completed", true)
 		done.Set(c, 1<<2)
 	})
 	t3 := k.CreateTask("ring3", 3, 1, 0, func(c *rtos.TaskCtx) {
@@ -99,6 +106,7 @@ func BuildRingScenario(opts ...Option) *RingWorld {
 			q0.Send(c, 3)
 		}
 		w.Completed++
+		aud.Access(c.Task().Name, "w.Completed", true)
 		done.Set(c, 1<<3)
 	})
 	k.CreateTask("ringmon", 0, 5, 0, func(c *rtos.TaskCtx) {
@@ -124,6 +132,7 @@ func BuildRingScenario(opts ...Option) *RingWorld {
 // operation blocks forever, so message faults cost throughput, never
 // liveness.
 func BuildRingTimeoutScenario(opts ...Option) *RingWorld {
+	aud := raceAuditorOf(opts)
 	s := newScenarioSim(opts)
 	k := rtos.NewKernel(s, 4)
 	q0 := k.NewQueue("ring.q0", 1)
@@ -141,13 +150,16 @@ func BuildRingTimeoutScenario(opts ...Option) *RingWorld {
 				// The token is gone (dropped, or stuck behind a jam): mint a
 				// replacement instead of waiting for one that may never come.
 				w.Regenerated++
+				aud.Access(c.Task().Name, "w.Regenerated", true)
 			}
 			c.Compute(ringWork)
 			if !out.SendRetry(c, token, pol) {
 				w.SendFailures++
+				aud.Access(c.Task().Name, "w.SendFailures", true)
 			}
 		}
 		w.Completed++
+		aud.Access(c.Task().Name, "w.Completed", true)
 		done.Set(c, bit)
 	}
 	k.CreateTask("ring0", 0, 1, 0, func(c *rtos.TaskCtx) { stage(c, 0, q0, q1, 1<<0) })

@@ -47,6 +47,18 @@ type IPCGenConfig struct {
 	// delivers nothing — the generative analogue of the fault injector's
 	// msg-drop.
 	PDrop float64 `json:"p_drop"`
+	// PDelay marks a buffered send as delayed in transit: the slot is
+	// reserved when the send completes but the message only becomes visible
+	// to receivers 1..MaxDelay rounds later — the analogue of msg-delay.
+	// Zero keeps the generator's random stream identical to pre-delay
+	// configs (the draw is gated, not wasted).
+	PDelay   float64 `json:"p_delay"`
+	MaxDelay int     `json:"max_delay"`
+	// PDup marks a buffered send as duplicated in transit: a second copy
+	// arrives alongside the first if the channel has a free slot, and is
+	// lost otherwise — the analogue of msg-dup.  Zero is draw-gated like
+	// PDelay.
+	PDup float64 `json:"p_dup"`
 	// Fuse bounds the scheduler rounds of one run (a safety net; the
 	// round-robin executor quiesces on its own).
 	Fuse int `json:"fuse"`
@@ -78,6 +90,8 @@ func (c IPCGenConfig) validate() error {
 		return fmt.Errorf("fuzz: ipc: need at least one op per task")
 	case c.MaxCap < 1:
 		return fmt.Errorf("fuzz: ipc: need MaxCap >= 1")
+	case c.PDelay > 0 && c.MaxDelay < 1:
+		return fmt.Errorf("fuzz: ipc: PDelay > 0 needs MaxDelay >= 1")
 	case c.Fuse < 1:
 		return fmt.Errorf("fuzz: ipc: need a positive round fuse")
 	}
@@ -89,6 +103,8 @@ type IPCOp struct {
 	Send    bool
 	Ch      int
 	Dropped bool // send only: lost in transit
+	Delay   int  // send only: rounds in transit before receivers see it
+	Dup     bool // send only: a second copy arrives if a slot is free
 }
 
 // IPCScenario is one generated message-passing workload.
@@ -133,7 +149,17 @@ func GenerateIPC(seed uint64, cfg IPCGenConfig) (*IPCScenario, error) {
 				r++
 			}
 		}
-		sc.Ops[s] = append(sc.Ops[s], IPCOp{Send: true, Ch: c, Dropped: rng.Float64() < cfg.PDrop})
+		op := IPCOp{Send: true, Ch: c, Dropped: rng.Float64() < cfg.PDrop}
+		// The delay/dup draws are gated behind their probabilities so a
+		// config with both at zero consumes exactly the pre-fault stream —
+		// old (seed, config) pairs keep their byte-identical scenarios.
+		if cfg.PDelay > 0 && rng.Float64() < cfg.PDelay {
+			op.Delay = 1 + rng.Intn(cfg.MaxDelay)
+		}
+		if cfg.PDup > 0 {
+			op.Dup = rng.Float64() < cfg.PDup
+		}
+		sc.Ops[s] = append(sc.Ops[s], op)
 		sc.Ops[r] = append(sc.Ops[r], IPCOp{Ch: c})
 	}
 	return sc, nil
@@ -163,8 +189,9 @@ func (st *IPCStatic) FlagCount() int {
 // DeriveIPC computes the static flag set of a scenario.
 func DeriveIPC(sc *IPCScenario) *IPCStatic {
 	nT, nC := sc.Cfg.Tasks, sc.Cfg.Channels
-	recvs := make([]int, nC)   // total receive demands per channel
-	effSends := make([]int, nC) // non-dropped sends per channel
+	recvs := make([]int, nC)    // total receive demands per channel
+	minSends := make([]int, nC) // guaranteed supply: non-dropped sends, dups excluded (a dup is lost when the buffer is full)
+	maxSends := make([]int, nC) // possible supply: non-dropped sends, dups counted twice
 	hasRecv := make([][]bool, nT)
 	hasEffSend := make([][]bool, nT)
 	for t := range sc.Ops {
@@ -173,7 +200,11 @@ func DeriveIPC(sc *IPCScenario) *IPCStatic {
 		for _, op := range sc.Ops[t] {
 			if op.Send {
 				if !op.Dropped {
-					effSends[op.Ch]++
+					minSends[op.Ch]++
+					maxSends[op.Ch]++
+					if op.Dup {
+						maxSends[op.Ch]++
+					}
 					hasEffSend[t][op.Ch] = true
 				}
 			} else {
@@ -191,16 +222,19 @@ func DeriveIPC(sc *IPCScenario) *IPCStatic {
 
 	// Count rules: a channel with more blocking demands than supply starves
 	// (or sticks) someone; which task loses depends on ordering, so every
-	// task on the losing side is flagged.
+	// task on the losing side is flagged.  The two rules bracket the dup
+	// uncertainty from opposite sides: receivers are starved against the
+	// guaranteed minimum supply (a dup may be lost), senders overflow
+	// against the possible maximum (a dup may land and hold a slot).
 	for c := 0; c < nC; c++ {
-		if recvs[c] > effSends[c] {
+		if recvs[c] > minSends[c] {
 			for t := 0; t < nT; t++ {
 				if hasRecv[t][c] {
 					st.CountFlagged[t] = true
 				}
 			}
 		}
-		surplus := effSends[c] - recvs[c]
+		surplus := maxSends[c] - recvs[c]
 		if surplus > sc.Caps[c] {
 			for t := 0; t < nT; t++ {
 				if hasEffSend[t][c] {
@@ -214,7 +248,7 @@ func DeriveIPC(sc *IPCScenario) *IPCStatic {
 	// on its own channel forever).  A receive always waits on the channel's
 	// effective senders; a send waits on the channel's receivers when it can
 	// block at all — any rendezvous send, or a buffered send on a channel
-	// whose effective supply can overrun the capacity.
+	// whose possible supply (dups included) can overrun the capacity.
 	edge := make([][]bool, nT)
 	for t := range edge {
 		edge[t] = make([]bool, nT)
@@ -228,7 +262,7 @@ func DeriveIPC(sc *IPCScenario) *IPCStatic {
 					}
 				}
 			}
-			if hasEffSend[t][c] && effSends[c] > sc.Caps[c] {
+			if hasEffSend[t][c] && maxSends[c] > sc.Caps[c] {
 				for u := 0; u < nT; u++ {
 					if hasRecv[u][c] {
 						edge[t][u] = true
@@ -281,6 +315,11 @@ type IPCExecResult struct {
 	Core []int
 	// Dropped counts send ops lost in transit.
 	Dropped int
+	// Delayed counts messages that spent at least one round in flight;
+	// Duplicated counts duplicate copies that actually landed (a dup on a
+	// full buffer is lost silently).
+	Delayed    int
+	Duplicated int
 	// MismatchAt describes the first containment violation ("" = none): a
 	// core task the static derivation did not flag.
 	MismatchAt string
@@ -290,7 +329,15 @@ type IPCExecResult struct {
 // the core-containment invariant against st.
 func ExecIPC(sc *IPCScenario, st *IPCStatic) IPCExecResult {
 	nT := sc.Cfg.Tasks
+	// Two counters per buffered channel split occupancy from visibility:
+	// fill is the slots reserved (a send blocks on it, a delayed or
+	// duplicated message holds its slot from the moment the send completes)
+	// and avail is the messages receivers can actually take (incremented
+	// when the message arrives, op.Delay rounds after the send).
 	fill := make([]int, sc.Cfg.Channels)
+	avail := make([]int, sc.Cfg.Channels)
+	pending := map[int][]int{} // arrival round -> channels, in send order
+	inFlight := 0
 	pc := make([]int, nT)
 	done := make([]bool, nT)
 	res := IPCExecResult{}
@@ -300,6 +347,23 @@ func ExecIPC(sc *IPCScenario, st *IPCStatic) IPCExecResult {
 	for running > 0 && round < sc.Cfg.Fuse {
 		round++
 		progress := false
+		if chs, ok := pending[round]; ok {
+			for _, c := range chs {
+				avail[c]++
+			}
+			inFlight -= len(chs)
+			delete(pending, round)
+			progress = true
+		}
+		deliver := func(c, delay int) {
+			if delay <= 0 {
+				avail[c]++
+				return
+			}
+			res.Delayed++
+			pending[round+delay] = append(pending[round+delay], c)
+			inFlight++
+		}
 		for t := 0; t < nT; t++ {
 			if done[t] {
 				continue
@@ -334,18 +398,28 @@ func ExecIPC(sc *IPCScenario, st *IPCStatic) IPCExecResult {
 			case op.Send:
 				if fill[op.Ch] < sc.Caps[op.Ch] {
 					fill[op.Ch]++
+					deliver(op.Ch, op.Delay)
+					if op.Dup && fill[op.Ch] < sc.Caps[op.Ch] {
+						// The duplicate needs its own slot; on a full buffer
+						// it is lost, which is why the static derivation
+						// counts dups only on the supply maximum.
+						fill[op.Ch]++
+						res.Duplicated++
+						deliver(op.Ch, op.Delay)
+					}
 					pc[t]++
 					progress = true
 				}
 			default: // receive
-				if fill[op.Ch] > 0 {
+				if avail[op.Ch] > 0 {
+					avail[op.Ch]--
 					fill[op.Ch]--
 					pc[t]++
 					progress = true
 				}
 			}
 		}
-		if !progress {
+		if !progress && inFlight == 0 {
 			break
 		}
 	}
@@ -399,11 +473,13 @@ type IPCAgg struct {
 	Wedged       int
 	FuseExceeded int
 
-	FlaggedRuns  int // runs with a non-empty static flag set
-	CoreSum      int // stuck tasks across wedged runs
-	FlagSum      int // statically flagged tasks across all runs
-	DroppedSum   int
-	RoundsSum    int
+	FlaggedRuns int // runs with a non-empty static flag set
+	CoreSum     int // stuck tasks across wedged runs
+	FlagSum     int // statically flagged tasks across all runs
+	DroppedSum  int
+	DelayedSum  int
+	DupSum      int
+	RoundsSum   int
 
 	Violations     int
 	FirstViolation string
@@ -426,6 +502,8 @@ func (a *IPCAgg) fold(st *IPCStatic, res IPCExecResult) {
 	}
 	a.CoreSum += len(res.Core)
 	a.DroppedSum += res.Dropped
+	a.DelayedSum += res.Delayed
+	a.DupSum += res.Duplicated
 	a.RoundsSum += res.Rounds
 	if res.MismatchAt != "" {
 		a.Violations++
@@ -444,6 +522,8 @@ func (a *IPCAgg) merge(b *IPCAgg) {
 	a.CoreSum += b.CoreSum
 	a.FlagSum += b.FlagSum
 	a.DroppedSum += b.DroppedSum
+	a.DelayedSum += b.DelayedSum
+	a.DupSum += b.DupSum
 	a.RoundsSum += b.RoundsSum
 	a.Violations += b.Violations
 	if a.FirstViolation == "" {
@@ -486,6 +566,8 @@ type IPCPointReport struct {
 	MeanFlaggedTasks float64 `json:"mean_flagged_tasks"`
 	MeanRounds       float64 `json:"mean_rounds"`
 	DroppedSends     int     `json:"dropped_sends"`
+	DelayedSends     int     `json:"delayed_sends"`
+	DuplicatedSends  int     `json:"duplicated_sends"`
 
 	Violations     int    `json:"violations"`
 	FirstViolation string `json:"first_violation,omitempty"`
@@ -586,16 +668,18 @@ func RunIPCSweep(sw IPCSweep, workers int) (*IPCReport, error) {
 
 func ipcPointReport(p IPCPoint, a *IPCAgg) IPCPointReport {
 	pr := IPCPointReport{
-		Label:          p.Label,
-		Gen:            p.Gen,
-		Seeds:          a.Seeds,
-		Completed:      a.Completed,
-		Wedged:         a.Wedged,
-		FuseExceeded:   a.FuseExceeded,
-		FlaggedRuns:    a.FlaggedRuns,
-		DroppedSends:   a.DroppedSum,
-		Violations:     a.Violations,
-		FirstViolation: a.FirstViolation,
+		Label:           p.Label,
+		Gen:             p.Gen,
+		Seeds:           a.Seeds,
+		Completed:       a.Completed,
+		Wedged:          a.Wedged,
+		FuseExceeded:    a.FuseExceeded,
+		FlaggedRuns:     a.FlaggedRuns,
+		DroppedSends:    a.DroppedSum,
+		DelayedSends:    a.DelayedSum,
+		DuplicatedSends: a.DupSum,
+		Violations:      a.Violations,
+		FirstViolation:  a.FirstViolation,
 	}
 	if a.Seeds > 0 {
 		n := float64(a.Seeds)
@@ -622,5 +706,25 @@ func DefaultIPCSweep(seedsPerPoint int, baseSeed uint64) IPCSweep {
 			Gen:   gen,
 		})
 	}
+	return sw
+}
+
+// FaultIPCSweep layers the transit faults over the stock topology: delay
+// alone (reordering pressure without count changes), duplication alone
+// (supply surplus pushing senders toward overflow), and all three faults
+// combined.  The containment invariant must hold across the whole overlay.
+func FaultIPCSweep(seedsPerPoint int, baseSeed uint64) IPCSweep {
+	sw := IPCSweep{Seeds: seedsPerPoint, BaseSeed: baseSeed}
+	delay := DefaultIPCGenConfig()
+	delay.PDelay, delay.MaxDelay = 0.3, 4
+	dup := DefaultIPCGenConfig()
+	dup.PDup = 0.25
+	all := DefaultIPCGenConfig()
+	all.PDelay, all.MaxDelay, all.PDup = 0.2, 3, 0.2
+	sw.Points = append(sw.Points,
+		IPCPoint{Label: "delay=0.30", Gen: delay},
+		IPCPoint{Label: "dup=0.25", Gen: dup},
+		IPCPoint{Label: "drop+delay+dup", Gen: all},
+	)
 	return sw
 }

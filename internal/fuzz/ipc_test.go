@@ -190,3 +190,138 @@ func TestIPCSweepValidation(t *testing.T) {
 		t.Error("zero config accepted")
 	}
 }
+
+// Hand-built scenarios pin the delay/duplicate transit semantics: a delayed
+// message holds its slot from the send but is invisible to receivers until
+// it arrives, and a duplicate lands only when the buffer has a free slot.
+func TestExecIPCDelayAndDup(t *testing.T) {
+	base := IPCGenConfig{Tasks: 2, Channels: 1, Ops: 2, MaxCap: 2, Fuse: 100}
+
+	// Delayed delivery: the receiver must idle until the message arrives,
+	// then the run completes — in-flight messages are not quiescence.
+	sc := &IPCScenario{Cfg: base, Caps: []int{1}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0, Delay: 5}},
+		{{Ch: 0}},
+	}}
+	st := DeriveIPC(sc)
+	if st.FlagCount() != 0 {
+		t.Errorf("delay-only pipeline statically flagged: %+v", st)
+	}
+	res := ExecIPC(sc, st)
+	if res.Outcome != Completed || res.Delayed != 1 {
+		t.Errorf("delayed pipeline: outcome %v delayed %d, want completed with 1 in-flight message", res.Outcome, res.Delayed)
+	}
+	if res.Rounds < 5 {
+		t.Errorf("delayed pipeline finished in %d rounds; the 5-round transit cannot have been honored", res.Rounds)
+	}
+
+	// Duplicate with a free slot: the second copy lands and feeds the
+	// second receive, so the nominally under-supplied program completes.
+	sc = &IPCScenario{Cfg: base, Caps: []int{2}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0, Dup: true}},
+		{{Ch: 0}, {Ch: 0}},
+	}}
+	st = DeriveIPC(sc)
+	// Static minimum supply excludes the dup, so the receiver stays
+	// (soundly) flagged even though this schedule happens to complete.
+	if !st.CountFlagged[1] {
+		t.Errorf("dup-fed receiver not count-flagged against the minimum supply: %+v", st)
+	}
+	res = ExecIPC(sc, st)
+	if res.Outcome != Completed || res.Duplicated != 1 {
+		t.Errorf("dup-fed pipeline: outcome %v duplicated %d, want completed with 1 landed dup", res.Outcome, res.Duplicated)
+	}
+	if res.MismatchAt != "" {
+		t.Errorf("containment violated: %s", res.MismatchAt)
+	}
+
+	// Duplicate on a full buffer is lost: capacity 1 leaves no slot for the
+	// copy, the second receive starves, and the static derivation covers
+	// the wedge because it never counted the dup as guaranteed supply.
+	sc = &IPCScenario{Cfg: base, Caps: []int{1}, Ops: [][]IPCOp{
+		{{Send: true, Ch: 0, Dup: true}},
+		{{Ch: 0}, {Ch: 0}},
+	}}
+	st = DeriveIPC(sc)
+	res = ExecIPC(sc, st)
+	if res.Outcome != Wedged || res.Duplicated != 0 {
+		t.Errorf("dup-on-full: outcome %v duplicated %d, want wedged with the dup lost", res.Outcome, res.Duplicated)
+	}
+	if len(res.Core) != 1 || res.Core[0] != 1 {
+		t.Errorf("dup-on-full core %v, want the starved receiver", res.Core)
+	}
+	if res.MismatchAt != "" {
+		t.Errorf("containment violated: %s", res.MismatchAt)
+	}
+}
+
+// A config with the fault probabilities at zero must not consume any extra
+// random draws: channel capacities and programs stay byte-identical to the
+// pre-fault generator, and no op carries a delay or dup mark.
+func TestGenerateIPCFaultDrawGating(t *testing.T) {
+	plain := DefaultIPCGenConfig()
+	sc, err := GenerateIPC(99, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range sc.Ops {
+		for _, op := range sc.Ops[t2] {
+			if op.Delay != 0 || op.Dup {
+				t.Fatalf("zero-probability config produced fault op %+v", op)
+			}
+		}
+	}
+	// The capacity draws precede the message loop, so they are identical
+	// whatever the fault knobs say.
+	faulty := plain
+	faulty.PDelay, faulty.MaxDelay, faulty.PDup = 0.5, 3, 0.5
+	sf, err := GenerateIPC(99, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range sc.Caps {
+		if sc.Caps[c] != sf.Caps[c] {
+			t.Fatalf("fault knobs changed the capacity stream at channel %d", c)
+		}
+	}
+}
+
+// The fault overlay keeps the two standing sweep invariants: the static
+// flag set contains every runtime core, and the report is byte-identical
+// at any worker width — asserted non-vacuously (faults actually fired).
+func TestIPCFaultSweepContainmentAndParallelDeterminism(t *testing.T) {
+	sw := FaultIPCSweep(900, 0xde1a7)
+	sw.ChunkSize = 128
+	r1, err := RunIPCSweep(sw, 1)
+	if err != nil {
+		t.Fatalf("containment broke under transit faults: %v", err)
+	}
+	r4, err := RunIPCSweep(sw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := r1.JSON()
+	j4, _ := r4.JSON()
+	if !bytes.Equal(j1, j4) {
+		t.Errorf("worker count changed the fault-overlay report:\n%s\n---\n%s", j1, j4)
+	}
+	delayed, duplicated, wedged := 0, 0, 0
+	for _, p := range r1.Points {
+		delayed += p.DelayedSends
+		duplicated += p.DuplicatedSends
+		wedged += p.Wedged
+		if p.FuseExceeded > 0 {
+			t.Errorf("point %s: %d runs hit the fuse; delayed messages must still quiesce", p.Label, p.FuseExceeded)
+		}
+		if p.WedgeProbability > p.StaticFlagProbability {
+			t.Errorf("point %s: wedge probability %.4f exceeds the static bound %.4f",
+				p.Label, p.WedgeProbability, p.StaticFlagProbability)
+		}
+	}
+	if delayed == 0 || duplicated == 0 {
+		t.Errorf("fault overlay fired %d delays and %d dups; the sweep proved nothing", delayed, duplicated)
+	}
+	if wedged == 0 {
+		t.Error("no run wedged under the fault overlay; the containment check proved nothing")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"deltartos/internal/races"
 	"deltartos/internal/sim"
 	"deltartos/internal/trace"
 )
@@ -128,6 +129,9 @@ type Kernel struct {
 	// TraceFn, when set, receives scheduling trace records (Figure 20-style
 	// execution traces).
 	TraceFn func(ev TraceEvent)
+	// Races, when attached, shadows Mutex lock transitions for the runtime
+	// lockset auditor (the races-pass cross-check); nil-safe.
+	Races *races.Auditor
 }
 
 // TraceEvent is one scheduling trace record.

@@ -163,7 +163,9 @@ func (m *Mutex) purgeTask(t *Task) {
 	if m.owner != t {
 		return
 	}
-	// Undo any boost this acquisition applied to the victim.
+	// Undo any boost this acquisition applied to the victim, and drop its
+	// shadow-lockset entry: the lock is being force-handed off.
+	m.k.Races.Release(t.Name, "mutex:"+m.Name)
 	m.k.setPriority(t, m.savedPrio)
 	if len(m.waiters) == 0 {
 		m.owner = nil
@@ -205,6 +207,7 @@ func (m *Mutex) Lock(c *TaskCtx) {
 	t := c.t
 	if m.owner == nil {
 		m.acquire(c, t)
+		m.k.Races.Acquire(t.Name, "mutex:"+m.Name)
 		m.Acquires++
 		m.TotalLatency += c.p.Now() - start
 		return
@@ -243,6 +246,7 @@ func (m *Mutex) Lock(c *TaskCtx) {
 	}
 	t.waitingOn = nil
 	c.ensureRunning() // unwinds the task if it was killed while waiting
+	m.k.Races.Acquire(t.Name, "mutex:"+m.Name)
 	m.Acquires++
 	m.TotalDelay += c.p.Now() - start
 }
@@ -274,6 +278,7 @@ func (m *Mutex) Unlock(c *TaskCtx) {
 		return // tolerated: the lock keeps its true owner
 	}
 	// Restore the priority this acquisition may have boosted/raised.
+	m.k.Races.Release(t.Name, "mutex:"+m.Name)
 	c.k.setPriority(t, m.savedPrio)
 	if len(m.waiters) == 0 {
 		m.owner = nil

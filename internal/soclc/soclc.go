@@ -25,6 +25,7 @@ import (
 
 	"deltartos/internal/claims"
 	"deltartos/internal/gates"
+	"deltartos/internal/races"
 	"deltartos/internal/rtos"
 	"deltartos/internal/sim"
 	"deltartos/internal/trace"
@@ -154,6 +155,9 @@ type SoftwareLocks struct {
 	// Audit records every (task, lock) hold for the static-claims
 	// cross-check; nil-safe, set by the scenarios.
 	Audit *claims.Audit
+	// Races, when attached, shadows every lock transition for the runtime
+	// lockset auditor (the races-pass cross-check); nil-safe.
+	Races *races.Auditor
 }
 
 // NewSoftwareLocks creates n software long locks.
@@ -181,6 +185,7 @@ func (sl *SoftwareLocks) Acquire(c *rtos.TaskCtx, id int) {
 	if l.owner == nil {
 		l.owner = t
 		l.savedPrio = t.CurPrio
+		sl.Races.Acquire(t.Name, claims.ResourceKey("long", id))
 		sl.stats.TotalLatency += c.Now() - start
 		record(c, "lock.acquire", start, id, "uncontended")
 		return
@@ -198,6 +203,7 @@ func (sl *SoftwareLocks) Acquire(c *rtos.TaskCtx, id int) {
 	// On wakeup the waiter re-enters the lock service to complete ownership
 	// bookkeeping before returning to the application.
 	c.ChargeSharedAccesses(12)
+	sl.Races.Acquire(t.Name, claims.ResourceKey("long", id))
 	sl.stats.TotalDelay += c.Now() - start
 	record(c, "lock.acquire", start, id, "contended")
 }
@@ -225,6 +231,7 @@ func (sl *SoftwareLocks) Release(c *rtos.TaskCtx, id int) {
 		record(c, "lock.release.drop", start, id, "")
 		return
 	}
+	sl.Races.Release(t.Name, claims.ResourceKey("long", id))
 	sl.k.SetTaskPriority(t, l.savedPrio)
 	if len(l.waiters) == 0 {
 		l.owner = nil
@@ -264,6 +271,7 @@ func (sl *SoftwareLocks) AcquireShort(c *rtos.TaskCtx, id int) {
 			sl.shorts[id] = true
 			sl.shortOwner[id] = c.Task()
 			sl.Audit.Record(c.Task().Name, claims.ResourceKey("short", id))
+			sl.Races.Acquire(c.Task().Name, claims.ResourceKey("short", id))
 			c.BusWrite(1) // claim (store-conditional)
 			sl.ShortAcquires++
 			sl.ShortSpinCycles += c.Now() - start
@@ -286,6 +294,7 @@ func (sl *SoftwareLocks) ReleaseShort(c *rtos.TaskCtx, id int) {
 	}
 	sl.shorts[id] = false
 	sl.shortOwner[id] = nil
+	sl.Races.Release(c.Task().Name, claims.ResourceKey("short", id))
 	c.BusWrite(1)
 }
 
@@ -323,6 +332,9 @@ type LockCache struct {
 	// Audit records every (task, lock) hold for the static-claims
 	// cross-check; nil-safe, set by the scenarios.
 	Audit *claims.Audit
+	// Races, when attached, shadows every lock transition for the runtime
+	// lockset auditor (the races-pass cross-check); nil-safe.
+	Races *races.Auditor
 }
 
 // NewLockCache creates a lock cache.  Ceilings default to 0 (highest);
@@ -364,6 +376,7 @@ func (lc *LockCache) Acquire(c *rtos.TaskCtx, id int) {
 	if l.owner == nil {
 		l.owner = t
 		l.savedPrio = t.CurPrio
+		lc.Races.Acquire(t.Name, claims.ResourceKey("long", id))
 		if lc.ceilings[id] < t.CurPrio {
 			lc.k.SetTaskPriority(t, lc.ceilings[id]) // IPCP in hardware
 		}
@@ -377,6 +390,7 @@ func (lc *LockCache) Acquire(c *rtos.TaskCtx, id int) {
 	l.waiters = insertByPrio(l.waiters, t)
 	l.reqTime[t] = start
 	c.Park(fmt.Sprintf("soclc:%d", id))
+	lc.Races.Acquire(t.Name, claims.ResourceKey("long", id))
 	lc.stats.TotalDelay += c.Now() - start
 	record(c, "lock.acquire", start, id, "contended")
 }
@@ -406,6 +420,7 @@ func (lc *LockCache) Release(c *rtos.TaskCtx, id int) {
 		record(c, "lock.release.drop", start, id, "")
 		return
 	}
+	lc.Races.Release(t.Name, claims.ResourceKey("long", id))
 	lc.k.SetTaskPriority(t, l.savedPrio)
 	if len(l.waiters) == 0 {
 		l.owner = nil
@@ -444,6 +459,7 @@ func (lc *LockCache) AcquireShort(c *rtos.TaskCtx, id int) {
 			lc.shorts[id] = true
 			lc.shortOwner[id] = c.Task()
 			lc.Audit.Record(c.Task().Name, claims.ResourceKey("short", id))
+			lc.Races.Acquire(c.Task().Name, claims.ResourceKey("short", id))
 			lc.ShortAcquires++
 			lc.ShortSpinCycles += c.Now() - start
 			record(c, "lock.acquire.short", start, id, "")
@@ -465,6 +481,7 @@ func (lc *LockCache) ReleaseShort(c *rtos.TaskCtx, id int) {
 	}
 	lc.shorts[id] = false
 	lc.shortOwner[id] = nil
+	lc.Races.Release(c.Task().Name, claims.ResourceKey("short", id))
 	c.Kernel().S.Bus.TransactFast(c.Proc(), 1)
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package deltartos
+
+// raceEnabled reports whether the race detector is compiled in, so
+// wall-clock budget tests can scale for its instrumentation overhead.
+const raceEnabled = false
