@@ -299,56 +299,68 @@ func BenchmarkAblationPackedVsNaive(b *testing.B) {
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			mx := g.Matrix()
-			naiveReduce(mx)
+			pdda.ReduceCells(mx)
 		}
 	})
 }
 
-// naiveReduce is the straightforward cell-by-cell terminal reduction, used
-// only as the ablation baseline for the packed bit-plane implementation.
-func naiveReduce(mx *rag.Matrix) int {
-	k := 0
-	for {
-		termRows := []int{}
-		for s := 0; s < mx.M; s++ {
-			anyR, anyG := false, false
-			for t := 0; t < mx.N; t++ {
-				switch mx.Get(s, t) {
-				case rag.Request:
-					anyR = true
-				case rag.Grant:
-					anyG = true
+// ---- Bitset engine vs per-cell engine across geometries ----
+//
+// The go-test flavor of the BENCH_bitset.json comparison (deltasim
+// -bench-bitset): the word-parallel reduction against the per-cell
+// reference engine at 64x64, 1kx1k and 16kx16k, plus the zero-allocation
+// graph-detect path.  Request density scales down with n so per-row request
+// degree stays realistic at 16k; the cell engine scans every cell per pass
+// regardless of density.
+func BenchmarkBitsetReduce(b *testing.B) {
+	points := []struct {
+		label string
+		m, n  int
+		pReq  float64
+	}{
+		{"64x64", 64, 64, 0.15},
+		{"1kx1k", 1024, 1024, 0.02},
+		{"16kx16k", 16384, 16384, 0.002},
+	}
+	for _, pt := range points {
+		pt := pt
+		b.Run(pt.label, func(b *testing.B) {
+			if pt.m >= 16384 && testing.Short() {
+				b.Skip("16k cell sweep takes seconds per op")
+			}
+			g := rag.Random(det.New(1), pt.m, pt.n, 0.7, pt.pReq)
+			pristine := g.Matrix()
+			work := pristine.Clone()
+			b.Run("cell", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					work.CopyFrom(pristine)
+					pdda.ReduceCells(work)
 				}
-			}
-			if anyR != anyG {
-				termRows = append(termRows, s)
-			}
-		}
-		termCols := []int{}
-		for t := 0; t < mx.N; t++ {
-			anyR, anyG := false, false
-			for s := 0; s < mx.M; s++ {
-				switch mx.Get(s, t) {
-				case rag.Request:
-					anyR = true
-				case rag.Grant:
-					anyG = true
+			})
+			b.Run("bitset", func(b *testing.B) {
+				var sc pdda.Scratch
+				b.ReportAllocs()
+				pdda.ReduceInto(&sc, pristine)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pdda.ReduceInto(&sc, pristine)
 				}
-			}
-			if anyR != anyG {
-				termCols = append(termCols, t)
-			}
-		}
-		if len(termRows) == 0 && len(termCols) == 0 {
-			return k
-		}
-		for _, s := range termRows {
-			mx.ClearRow(s)
-		}
-		for _, t := range termCols {
-			mx.ClearColumn(t)
-		}
-		k++
+			})
+		})
+	}
+}
+
+// BenchmarkBitsetDetectGraph measures the steady-state fuzz-executor scan:
+// graph-to-matrix mapping plus full reduction in caller-owned scratch.  The
+// allocs/op column must read 0 (gated by TestDetectDoesNotAllocate).
+func BenchmarkBitsetDetectGraph(b *testing.B) {
+	g := rag.Random(det.New(1), 1024, 1024, 0.7, 0.02)
+	var sc pdda.Scratch
+	b.ReportAllocs()
+	pdda.DetectGraphInto(&sc, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pdda.DetectGraphInto(&sc, g)
 	}
 }
 

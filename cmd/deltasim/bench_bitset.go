@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"deltartos/internal/det"
+	"deltartos/internal/pdda"
+	"deltartos/internal/rag"
+)
+
+// bitsetBenchPoint is one matrix geometry of the engine comparison.  The
+// request density scales down with n so per-row request degree stays
+// realistic at 16k (a process waits on a handful of resources, not on
+// thousands), while the cell engine's per-pass cost — it scans every cell
+// regardless of density — is unchanged by the sparsity.
+type bitsetBenchPoint struct {
+	label string
+	m, n  int
+	pReq  float64
+}
+
+var bitsetBenchPoints = []bitsetBenchPoint{
+	{"64x64", 64, 64, 0.15},
+	{"1kx1k", 1024, 1024, 0.02},
+	{"16kx16k", 16384, 16384, 0.002},
+}
+
+// bitsetSizeReport is one geometry's row in BENCH_bitset.json.
+type bitsetSizeReport struct {
+	Label             string  `json:"label"`
+	M                 int     `json:"m"`
+	N                 int     `json:"n"`
+	CellReduceNs      float64 `json:"cell_reduce_ns"`
+	BitsetReduceNs    float64 `json:"bitset_reduce_ns"`
+	ReduceSpeedup     float64 `json:"reduce_speedup"`
+	DetectNs          float64 `json:"detect_ns"`
+	DetectAllocsPerOp int64   `json:"detect_allocs_per_op"`
+	VerdictsMatch     bool    `json:"verdicts_match"`
+	Deadlock          bool    `json:"deadlock"`
+}
+
+// bitsetBenchReport is the full BENCH_bitset.json document.
+type bitsetBenchReport struct {
+	Seed  uint64             `json:"seed"`
+	Sizes []bitsetSizeReport `json:"sizes"`
+}
+
+// runBenchBitset measures the word-parallel reduction engine against the
+// per-cell reference engine at each geometry and writes BENCH_bitset.json.
+// The acceptance gates: bitset beats cell by >=10x on the 1k Reduce and
+// >=50x at 16k, and the steady-state detect path performs zero allocations.
+func runBenchBitset(path string) error {
+	rep := bitsetBenchReport{Seed: 1}
+	for _, pt := range bitsetBenchPoints {
+		start := time.Now()
+		g := rag.Random(det.New(rep.Seed), pt.m, pt.n, 0.7, pt.pReq)
+		pristine := g.Matrix()
+		work := pristine.Clone()
+
+		cell := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				work.CopyFrom(pristine)
+				pdda.ReduceCells(work)
+			}
+		})
+
+		var sc pdda.Scratch
+		bitset := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pdda.ReduceInto(&sc, pristine)
+			}
+		})
+
+		detect := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			pdda.DetectGraphInto(&sc, g) // warm before the timed runs
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pdda.DetectGraphInto(&sc, g)
+			}
+		})
+
+		fastDead, _ := pdda.DetectGraphInto(&sc, g)
+		cellDead := pdda.DetectCells(pristine)
+
+		row := bitsetSizeReport{
+			Label:             pt.label,
+			M:                 pt.m,
+			N:                 pt.n,
+			CellReduceNs:      float64(cell.NsPerOp()),
+			BitsetReduceNs:    float64(bitset.NsPerOp()),
+			DetectNs:          float64(detect.NsPerOp()),
+			DetectAllocsPerOp: detect.AllocsPerOp(),
+			VerdictsMatch:     fastDead == cellDead,
+			Deadlock:          fastDead,
+		}
+		if row.BitsetReduceNs > 0 {
+			row.ReduceSpeedup = row.CellReduceNs / row.BitsetReduceNs
+		}
+		rep.Sizes = append(rep.Sizes, row)
+		fmt.Printf("%-8s cell %12.0f ns/op, bitset %10.0f ns/op, speedup %7.1fx, detect %d allocs/op, verdicts match: %v (%s)\n",
+			pt.label, row.CellReduceNs, row.BitsetReduceNs, row.ReduceSpeedup,
+			row.DetectAllocsPerOp, row.VerdictsMatch, time.Since(start).Round(time.Millisecond))
+		if !row.VerdictsMatch {
+			return fmt.Errorf("bench-bitset: %s: engine verdicts diverge (bitset=%v cell=%v)",
+				pt.label, fastDead, cellDead)
+		}
+		if row.DetectAllocsPerOp != 0 {
+			return fmt.Errorf("bench-bitset: %s: detect path allocated %d/op, want 0",
+				pt.label, row.DetectAllocsPerOp)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

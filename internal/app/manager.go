@@ -54,6 +54,9 @@ type SoftwareDetector struct {
 	Pad         int
 	Invocations int
 	TotalCycles sim.Cycles
+	mx          *rag.Matrix // reusable graph image
+	padded      *rag.Matrix // reusable padded image when Pad exceeds live size
+	sc          pdda.Scratch
 }
 
 // Name implements Detector.
@@ -61,20 +64,30 @@ func (d *SoftwareDetector) Name() string { return "PDDA in software" }
 
 // Invoke implements Detector.
 func (d *SoftwareDetector) Invoke(c *rtos.TaskCtx, g *rag.Graph) (bool, sim.Cycles) {
-	mx := g.Matrix()
+	gm, gn := g.Size()
+	if d.mx == nil || d.mx.M != gm || d.mx.N != gn {
+		d.mx = rag.NewMatrix(gm, gn)
+	}
+	g.MatrixInto(d.mx)
+	mx := d.mx
 	if d.Pad > mx.M || d.Pad > mx.N {
 		m, n := max(d.Pad, mx.M), max(d.Pad, mx.N)
-		padded := rag.NewMatrix(m, n)
+		if d.padded == nil || d.padded.M != m || d.padded.N != n {
+			d.padded = rag.NewMatrix(m, n)
+		}
+		for s := 0; s < m; s++ {
+			d.padded.ClearRow(s)
+		}
 		for s := 0; s < mx.M; s++ {
 			for t := 0; t < mx.N; t++ {
 				if cell := mx.Get(s, t); cell != rag.None {
-					padded.Set(s, t, cell)
+					d.padded.Set(s, t, cell)
 				}
 			}
 		}
-		mx = padded
+		mx = d.padded
 	}
-	dead, st := pdda.Detect(mx)
+	dead, st := pdda.DetectInto(&d.sc, mx)
 	cost := sim.SoftwareDetectCycles(st)
 	c.ChargeCompute(cost)
 	d.Invocations++
@@ -98,6 +111,7 @@ type HardwareDetector struct {
 	Unit        *ddu.Unit
 	Invocations int
 	TotalCycles sim.Cycles
+	mx          *rag.Matrix // reusable graph image for the matrix load
 }
 
 // NewHardwareDetector sizes a DDU for the scenario.
@@ -114,7 +128,12 @@ func (d *HardwareDetector) Name() string { return "DDU (hardware)" }
 
 // Invoke implements Detector.
 func (d *HardwareDetector) Invoke(c *rtos.TaskCtx, g *rag.Graph) (bool, sim.Cycles) {
-	if err := d.Unit.Load(g.Matrix()); err != nil {
+	gm, gn := g.Size()
+	if d.mx == nil || d.mx.M != gm || d.mx.N != gn {
+		d.mx = rag.NewMatrix(gm, gn)
+	}
+	g.MatrixInto(d.mx)
+	if err := d.Unit.Load(d.mx); err != nil {
 		panic("app: ddu size mismatch: " + err.Error())
 	}
 	res := d.Unit.Detect()

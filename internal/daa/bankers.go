@@ -18,13 +18,24 @@ import (
 // restricts utilization (refuses grants the DAA happily allows), and (iii)
 // maximum claims may simply not be known in advance.  The DAA needs no
 // claims and grants strictly more often on the same traffic.
+//
+// Claims are packed one resource-indexed bit plane per process, and the
+// safety scan works a word at a time: a process can retire iff
+// claims[p] &^ (free | held[p]) is all-zero, where free is the complement
+// of the graph's held-any plane.  The scan reuses Banker-owned scratch, so
+// steady-state requests allocate nothing.  RefBanker (ref_banker.go) is the
+// per-cell oracle this engine is differentially tested against.
 type Banker struct {
 	m, n   int
-	claims [][]bool // claims[p][q]: p may ever need q
+	mw     int        // words per resource plane
+	claims [][]uint64 // claims[p], bit q: p may ever need q
 	g      *rag.Graph
 	stats  Stats
 	// Refusals counts requests denied because the state would be unsafe.
 	Refusals int
+	// safety-scan scratch, reused across requests
+	free []uint64
+	done []bool
 }
 
 // NewBanker creates a Banker's-algorithm avoider.  Claims start empty; a
@@ -34,10 +45,14 @@ func NewBanker(procs, resources int) (*Banker, error) {
 		return nil, fmt.Errorf("daa: invalid banker size %d x %d", procs, resources)
 	}
 	b := &Banker{m: resources, n: procs, g: rag.NewGraph(resources, procs)}
-	b.claims = make([][]bool, procs)
+	b.mw = b.g.ResWords()
+	b.claims = make([][]uint64, procs)
+	flat := make([]uint64, procs*b.mw)
 	for p := range b.claims {
-		b.claims[p] = make([]bool, resources)
+		b.claims[p] = flat[p*b.mw : (p+1)*b.mw : (p+1)*b.mw]
 	}
+	b.free = make([]uint64, b.mw)
+	b.done = make([]bool, procs)
 	return b, nil
 }
 
@@ -52,7 +67,7 @@ func (b *Banker) DeclareClaim(p int, resources ...int) error {
 		if q < 0 || q >= b.m {
 			return fmt.Errorf("daa: resource %d out of range", q)
 		}
-		b.claims[p][q] = true
+		b.claims[p][q/64] |= 1 << (uint(q) % 64)
 	}
 	return nil
 }
@@ -72,7 +87,7 @@ func (b *Banker) Request(p, q int) (granted bool, err error) {
 		return false, err
 	}
 	b.stats.Requests++
-	if !b.claims[p][q] {
+	if b.claims[p][q/64]&(1<<(uint(q)%64)) == 0 {
 		return false, fmt.Errorf("daa: p%d requests unclaimed q%d", p+1, q+1)
 	}
 	if b.g.Holder(q) != -1 {
@@ -106,22 +121,30 @@ func (b *Banker) Release(p, q int) error {
 // safe runs the Banker's safety check: repeatedly find a process whose full
 // remaining claim can be satisfied from the free resources plus what
 // finished processes would return, and retire it.  Safe iff every process
-// retires.
+// retires.  The retirement sweep is word-parallel — per candidate process
+// one AND-NOT pass over the claim plane — and the scan order (ascending
+// process id, free set updated as each process retires) is identical to
+// RefBanker's per-cell loop, so the two produce the same verdicts.
 func (b *Banker) safe() bool {
-	free := make([]bool, b.m)
-	for q := 0; q < b.m; q++ {
-		free[q] = b.g.Holder(q) == -1
+	heldAny := b.g.HeldAnyWords()
+	for w := 0; w < b.mw; w++ {
+		b.free[w] = ^heldAny[w]
 	}
-	done := make([]bool, b.n)
+	for p := 0; p < b.n; p++ {
+		b.done[p] = false
+	}
 	for retired := 0; retired < b.n; {
 		progress := false
 		for p := 0; p < b.n; p++ {
-			if done[p] {
+			if b.done[p] {
 				continue
 			}
+			held := b.g.HeldWords(p)
 			ok := true
-			for q := 0; q < b.m; q++ {
-				if b.claims[p][q] && !free[q] && b.g.Holder(q) != p {
+			for w := 0; w < b.mw; w++ {
+				// need = claimed minus (free or already held): any surviving
+				// bit is a resource p may still demand that nobody can supply.
+				if b.claims[p][w]&^(b.free[w]|held[w]) != 0 {
 					ok = false
 					break
 				}
@@ -130,12 +153,10 @@ func (b *Banker) safe() bool {
 				continue
 			}
 			// p can run to completion: it returns everything it holds.
-			for q := 0; q < b.m; q++ {
-				if b.g.Holder(q) == p {
-					free[q] = true
-				}
+			for w := 0; w < b.mw; w++ {
+				b.free[w] |= held[w]
 			}
-			done[p] = true
+			b.done[p] = true
 			retired++
 			progress = true
 		}

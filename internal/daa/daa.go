@@ -128,6 +128,8 @@ const DefaultLivelockThreshold = 3
 type Avoider struct {
 	cfg      Config
 	g        *rag.Graph
+	trial    *rag.Graph // scratch copy for tentative edges, reused per event
+	psc      pdda.Scratch
 	prio     []Priority
 	deny     map[[2]int]int // consecutive give-up answers per (proc, res)
 	stats    Stats
@@ -151,10 +153,11 @@ func New(cfg Config) (*Avoider, error) {
 		return nil, fmt.Errorf("daa: negative livelock threshold")
 	}
 	return &Avoider{
-		cfg:  cfg,
-		g:    rag.NewGraph(cfg.Resources, cfg.Procs),
-		prio: make([]Priority, cfg.Procs),
-		deny: make(map[[2]int]int),
+		cfg:   cfg,
+		g:     rag.NewGraph(cfg.Resources, cfg.Procs),
+		trial: rag.NewGraph(cfg.Resources, cfg.Procs),
+		prio:  make([]Priority, cfg.Procs),
+		deny:  make(map[[2]int]int),
 	}, nil
 }
 
@@ -181,7 +184,7 @@ func (a *Avoider) detect(g *rag.Graph) bool {
 	if a.detector != nil {
 		return a.detector(g)
 	}
-	dead, st := pdda.DetectGraph(g)
+	dead, st := pdda.DetectGraphInto(&a.psc, g)
 	a.stats.Detection.Add(st)
 	return dead
 }
@@ -205,11 +208,11 @@ func (a *Avoider) Request(p, q int) (RequestResult, error) {
 		// e.g. after a release left q free because every waiter was unsafe).
 		// The DAU always vets the edge on its internal matrix before
 		// committing it.
-		trial := a.g.Clone()
-		if err := trial.SetGrant(q, p); err != nil {
+		a.trial.CopyFrom(a.g)
+		if err := a.trial.SetGrant(q, p); err != nil {
 			return res, err
 		}
-		if a.detect(trial) {
+		if a.detect(a.trial) {
 			// Granting now would deadlock; park the request instead.  A
 			// request edge to a free resource can never close a cycle (the
 			// free resource has no outgoing grant edge).
@@ -228,9 +231,9 @@ func (a *Avoider) Request(p, q int) (RequestResult, error) {
 
 	// Line 5: would the request cause R-dl?  Tentatively add the edge and
 	// run detection, exactly as the DAU does on its internal matrix.
-	trial := a.g.Clone()
-	trial.AddRequest(q, p)
-	rdl := a.detect(trial)
+	a.trial.CopyFrom(a.g)
+	a.trial.AddRequest(q, p)
+	rdl := a.detect(a.trial)
 	if rdl {
 		a.stats.RdlEvents++
 		res.RDl = true
@@ -292,11 +295,11 @@ func (a *Avoider) Release(p, q int) (ReleaseResult, error) {
 	order := a.byPriority(waiters)
 	for i, w := range order {
 		a.stats.GrantScans++
-		trial := a.g.Clone()
-		if err := trial.SetGrant(q, w); err != nil {
+		a.trial.CopyFrom(a.g)
+		if err := a.trial.SetGrant(q, w); err != nil {
 			return res, err
 		}
-		if !a.detect(trial) {
+		if !a.detect(a.trial) {
 			if err := a.g.SetGrant(q, w); err != nil {
 				return res, err
 			}
@@ -347,7 +350,7 @@ func (a *Avoider) CancelRequest(p, q int) error {
 // Deadlocked runs detection on the tracked graph (for verification: an
 // avoider-managed system must never report true).
 func (a *Avoider) Deadlocked() bool {
-	dead, _ := pdda.DetectGraph(a.g)
+	dead, _ := pdda.DetectGraphInto(&a.psc, a.g)
 	return dead
 }
 

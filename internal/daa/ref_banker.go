@@ -1,0 +1,125 @@
+// RefBanker is the per-cell reference implementation of the Banker's
+// algorithm: boolean claim rows and the original triple-loop safety scan,
+// reading allocation state only through the graph's per-cell API.  It shares
+// no claim storage or scanning code with the word-parallel Banker, so the
+// fuzz campaign can replay every seed's traffic through both and flag any
+// grant/refuse divergence.
+
+package daa
+
+import (
+	"fmt"
+
+	"deltartos/internal/rag"
+)
+
+// RefBanker mirrors Banker's public behavior with per-cell internals.
+type RefBanker struct {
+	m, n     int
+	claims   [][]bool // claims[p][q]: p may ever need q
+	g        *rag.Graph
+	Refusals int
+}
+
+// NewRefBanker creates the per-cell oracle.
+func NewRefBanker(procs, resources int) (*RefBanker, error) {
+	if procs <= 0 || resources <= 0 {
+		return nil, fmt.Errorf("daa: invalid banker size %d x %d", procs, resources)
+	}
+	b := &RefBanker{m: resources, n: procs, g: rag.NewGraph(resources, procs)}
+	b.claims = make([][]bool, procs)
+	for p := range b.claims {
+		b.claims[p] = make([]bool, resources)
+	}
+	return b, nil
+}
+
+// DeclareClaim registers that process p may ever need resource q.
+func (b *RefBanker) DeclareClaim(p int, resources ...int) error {
+	if p < 0 || p >= b.n {
+		return fmt.Errorf("daa: process %d out of range", p)
+	}
+	for _, q := range resources {
+		if q < 0 || q >= b.m {
+			return fmt.Errorf("daa: resource %d out of range", q)
+		}
+		b.claims[p][q] = true
+	}
+	return nil
+}
+
+// Graph exposes the tracked allocation state.
+func (b *RefBanker) Graph() *rag.Graph { return b.g }
+
+// Request grants q to p under the same rules as Banker.Request, deciding
+// safety with the per-cell scan.
+func (b *RefBanker) Request(p, q int) (granted bool, err error) {
+	if p < 0 || p >= b.n || q < 0 || q >= b.m {
+		return false, fmt.Errorf("daa: request (%d,%d) out of range", p, q)
+	}
+	if !b.claims[p][q] {
+		return false, fmt.Errorf("daa: p%d requests unclaimed q%d", p+1, q+1)
+	}
+	if b.g.Holder(q) != -1 {
+		return false, nil
+	}
+	if err := b.g.SetGrant(q, p); err != nil {
+		return false, err
+	}
+	if b.safe() {
+		return true, nil
+	}
+	if err := b.g.Release(q, p); err != nil {
+		return false, err
+	}
+	b.Refusals++
+	return false, nil
+}
+
+// Release frees q held by p.
+func (b *RefBanker) Release(p, q int) error {
+	if p < 0 || p >= b.n || q < 0 || q >= b.m {
+		return fmt.Errorf("daa: release (%d,%d) out of range", p, q)
+	}
+	return b.g.Release(q, p)
+}
+
+// safe is the seed triple-loop scan: one Holder probe per (process,
+// resource) pair per pass.
+func (b *RefBanker) safe() bool {
+	free := make([]bool, b.m)
+	for q := 0; q < b.m; q++ {
+		free[q] = b.g.Holder(q) == -1
+	}
+	done := make([]bool, b.n)
+	for retired := 0; retired < b.n; {
+		progress := false
+		for p := 0; p < b.n; p++ {
+			if done[p] {
+				continue
+			}
+			ok := true
+			for q := 0; q < b.m; q++ {
+				if b.claims[p][q] && !free[q] && b.g.Holder(q) != p {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for q := 0; q < b.m; q++ {
+				if b.g.Holder(q) == p {
+					free[q] = true
+				}
+			}
+			done[p] = true
+			retired++
+			progress = true
+		}
+		if !progress {
+			return false
+		}
+	}
+	return true
+}

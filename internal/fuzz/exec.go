@@ -72,6 +72,23 @@ type ExecResult struct {
 	MismatchAt string
 }
 
+// intSliceEq reports element-wise equality, treating nil and empty alike
+// only when both are empty.
+func intSliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // taskState is the executor's per-task runtime.
 type taskState struct {
 	pc            int
@@ -82,11 +99,25 @@ type taskState struct {
 	blockedRounds int // rounds spent with the acquire outstanding
 }
 
-// Exec runs a scenario to a terminal state.  oracleAll additionally checks
-// PDDA against the HasCycle oracle and rag.Matrix.Validate at every
-// detection scan (the sampled-seed deep cross-check); the cheap invariants
-// are checked on every run.
+// ExecScratch holds the executor's reusable detection buffers.  One scratch
+// serves any number of consecutive Exec runs; the sweep keeps one per chunk
+// so the periodic PDDA scans of 10⁶ seeds allocate nothing.
+type ExecScratch struct {
+	det pdda.Scratch
+}
+
+// Exec runs a scenario to a terminal state with a private scratch.
 func Exec(sc *Scenario, st *Static, oracleAll bool) ExecResult {
+	var es ExecScratch
+	return ExecWith(&es, sc, st, oracleAll)
+}
+
+// ExecWith runs a scenario to a terminal state.  oracleAll additionally
+// checks PDDA against the HasCycle oracle and rag.Matrix.Validate at every
+// detection scan (the sampled-seed deep cross-check); the cheap invariants —
+// including the standing engine differential, word-parallel verdict versus
+// the per-cell reference engine — are checked on every run.
+func ExecWith(es *ExecScratch, sc *Scenario, st *Static, oracleAll bool) ExecResult {
 	cfg := sc.Cfg
 	g := rag.NewGraph(cfg.Resources, cfg.Tasks)
 	tasks := make([]taskState, cfg.Tasks)
@@ -177,10 +208,13 @@ func Exec(sc *Scenario, st *Static, oracleAll bool) ExecResult {
 
 		scan := round%cfg.DetectEvery == 0
 		if scan && res.DetectRound < 0 {
-			deadlock, _ := pdda.DetectGraph(g)
+			deadlock, _ := pdda.DetectGraphInto(&es.det, g)
 			if oracleAll {
 				if want := g.HasCycle(); deadlock != want {
 					mismatch("round %d: PDDA=%v, HasCycle oracle=%v", round, deadlock, want)
+				}
+				if want := pdda.DetectGraphCells(g); deadlock != want {
+					mismatch("round %d: bitset engine=%v, cell engine=%v", round, deadlock, want)
 				}
 				if err := g.Matrix().Validate(); err != nil {
 					mismatch("round %d: %v", round, err)
@@ -206,9 +240,25 @@ func Exec(sc *Scenario, st *Static, oracleAll bool) ExecResult {
 	}
 
 	// Classification + terminal cross-check (every run, sampled or not).
-	deadlock, _ := pdda.DetectGraph(g)
+	// This is the standing differential invariant: on every seed, the packed
+	// word-parallel engines must agree with the per-cell reference engines —
+	// identical PDDA verdicts, identical cycle witnesses, identical
+	// deadlocked-process sets.
+	deadlock, _ := pdda.DetectGraphInto(&es.det, g)
 	if want := g.HasCycle(); deadlock != want {
 		mismatch("terminal: PDDA=%v, HasCycle oracle=%v", deadlock, want)
+	}
+	if want := pdda.DetectGraphCells(g); deadlock != want {
+		mismatch("terminal: bitset engine=%v, cell engine=%v", deadlock, want)
+	}
+	if want := g.HasCycleRef(); g.HasCycle() != want {
+		mismatch("terminal: HasCycle=%v, per-cell ref=%v", !want, want)
+	}
+	if got, want := g.Cycle(), g.CycleRef(); !intSliceEq(got, want) {
+		mismatch("terminal: cycle witness %v, per-cell ref %v", got, want)
+	}
+	if got, want := g.DeadlockedProcesses(), g.DeadlockedProcessesRef(); !intSliceEq(got, want) {
+		mismatch("terminal: deadlocked set %v, per-cell ref %v", got, want)
 	}
 	if err := g.Matrix().Validate(); err != nil {
 		mismatch("terminal: %v", err)

@@ -61,11 +61,16 @@ type PointReport struct {
 	LostReleases int     `json:"lost_releases"`
 	CrashedTasks int     `json:"crashed_tasks"`
 
-	// Invariant-check accounting.
-	OracleChecked int    `json:"oracle_checked"`
-	LintChecked   int    `json:"lint_checked"`
-	Mismatches    int    `json:"mismatches"`
-	FirstMismatch string `json:"first_mismatch,omitempty"`
+	// Invariant-check accounting.  BankerChecked/BankerDecisions count the
+	// per-seed Banker differential (bitset engine vs per-cell reference);
+	// the word-vs-cell PDDA differential runs on every seed's terminal state
+	// and folds into Mismatches.
+	OracleChecked   int    `json:"oracle_checked"`
+	LintChecked     int    `json:"lint_checked"`
+	BankerChecked   int    `json:"banker_checked"`
+	BankerDecisions int    `json:"banker_decisions"`
+	Mismatches      int    `json:"mismatches"`
+	FirstMismatch   string `json:"first_mismatch,omitempty"`
 }
 
 // NewReport starts a report echoing the sweep config.
@@ -88,21 +93,23 @@ func NewReport(sw Sweep) *Report {
 // pointReport flattens one merged accumulator into its report row.
 func pointReport(p Point, a *Agg) PointReport {
 	pr := PointReport{
-		Label:         p.Label,
-		Gen:           p.Gen,
-		Contention:    p.Gen.Contention(),
-		Seeds:         a.Seeds,
-		Completed:     a.Outcomes[Completed],
-		Deadlocked:    a.Outcomes[Deadlocked],
-		Wedged:        a.Outcomes[Wedged],
-		FuseExceeded:  a.Outcomes[FuseExceeded],
-		StaticCycles:  a.StaticCycles,
-		LostReleases:  a.LostSum,
-		CrashedTasks:  a.CrashedSum,
-		OracleChecked: a.OracleChecked,
-		LintChecked:   a.LintChecked,
-		Mismatches:    a.Mismatches,
-		FirstMismatch: a.FirstMismatch,
+		Label:           p.Label,
+		Gen:             p.Gen,
+		Contention:      p.Gen.Contention(),
+		Seeds:           a.Seeds,
+		Completed:       a.Outcomes[Completed],
+		Deadlocked:      a.Outcomes[Deadlocked],
+		Wedged:          a.Outcomes[Wedged],
+		FuseExceeded:    a.Outcomes[FuseExceeded],
+		StaticCycles:    a.StaticCycles,
+		LostReleases:    a.LostSum,
+		CrashedTasks:    a.CrashedSum,
+		OracleChecked:   a.OracleChecked,
+		LintChecked:     a.LintChecked,
+		BankerChecked:   a.BankerChecked,
+		BankerDecisions: a.BankerDecisions,
+		Mismatches:      a.Mismatches,
+		FirstMismatch:   a.FirstMismatch,
 	}
 	if a.Seeds > 0 {
 		n := float64(a.Seeds)

@@ -71,6 +71,8 @@ type Agg struct {
 
 	OracleChecked    int
 	LintChecked      int
+	BankerChecked    int // seeds replayed through both Banker engines
+	BankerDecisions  int // grant/refuse decisions compared across engines
 	Mismatches       int
 	FirstMismatch    string
 	InfraErr         string // infrastructure failure (lint temp dir etc.)
@@ -142,6 +144,8 @@ func (a *Agg) merge(b *Agg) {
 	a.CrashedSum += b.CrashedSum
 	a.OracleChecked += b.OracleChecked
 	a.LintChecked += b.LintChecked
+	a.BankerChecked += b.BankerChecked
+	a.BankerDecisions += b.BankerDecisions
 	a.Mismatches += b.Mismatches
 	if a.FirstMismatch == "" {
 		a.FirstMismatch = b.FirstMismatch
@@ -220,6 +224,7 @@ func RunSweep(sw Sweep, workers int) (*Report, error) {
 		job := jobs[j]
 		agg := &aggs[j]
 		gen := sw.Points[job.point].Gen
+		var es ExecScratch // detection buffers shared by the chunk's seeds
 		for k := 0; k < job.count; k++ {
 			seed := job.seedLo + uint64(k)
 			idx := job.indexLo + k
@@ -229,8 +234,20 @@ func RunSweep(sw Sweep, workers int) (*Report, error) {
 			}
 			st := Derive(sc)
 			deep := sw.OracleEvery > 0 && idx%sw.OracleEvery == 0
-			res := Exec(sc, st, deep)
+			res := ExecWith(&es, sc, st, deep)
 			agg.fold(sc, st, res, deep)
+			// The Banker differential: replay the seed's traffic through the
+			// bitset Banker and the per-cell RefBanker, comparing every
+			// grant/refuse decision.
+			bd := BankerDiff(sc, st)
+			agg.BankerChecked++
+			agg.BankerDecisions += bd.Decisions
+			if bd.Mismatch != "" {
+				agg.Mismatches++
+				if agg.FirstMismatch == "" {
+					agg.FirstMismatch = bd.Mismatch
+				}
+			}
 			if idx < job.lintUpTo {
 				mismatch, err := LintCheck(sc, st)
 				if err != nil {

@@ -14,6 +14,16 @@
 // resource is granted to at most one process at a time.  Graph enforces that
 // invariant; Matrix does not (the hardware operates on raw bits), but
 // Matrix.Validate reports violations.
+//
+// Both representations are bit-packed: the matrix stores its two planes as
+// []uint64 word groups, and the graph keeps the request relation in two
+// packed orientations (per-resource rows over process columns, and the
+// transposed per-process rows over resource columns) plus a held-resource
+// plane, so every hot query — cycle detection, terminal reduction, the
+// Banker's safety scan — is a word-wide sweep, the software mirror of the
+// DDU's parallel bit operations.  The per-cell reference engine in ref.go
+// preserves the original cell-at-a-time implementations as differential
+// oracles.
 package rag
 
 import (
@@ -68,13 +78,20 @@ func NewMatrix(m, n int) *Matrix {
 	}
 	w := (n + 63) / 64
 	mx := &Matrix{M: m, N: n, words: w}
-	mx.req = make([][]uint64, m)
-	mx.grant = make([][]uint64, m)
-	for s := 0; s < m; s++ {
-		mx.req[s] = make([]uint64, w)
-		mx.grant[s] = make([]uint64, w)
-	}
+	mx.req = newPlane(m, w)
+	mx.grant = newPlane(m, w)
 	return mx
+}
+
+// newPlane allocates rows word-rows backed by one flat slice, so a plane is
+// a single contiguous allocation and row clears/copies stay cache-friendly.
+func newPlane(rows, words int) [][]uint64 {
+	flat := make([]uint64, rows*words)
+	p := make([][]uint64, rows)
+	for i := range p {
+		p[i] = flat[i*words : (i+1)*words : (i+1)*words]
+	}
+	return p
 }
 
 func (mx *Matrix) check(s, t int) {
@@ -136,11 +153,20 @@ func (mx *Matrix) lastMask() uint64 {
 // Clone returns a deep copy.
 func (mx *Matrix) Clone() *Matrix {
 	c := NewMatrix(mx.M, mx.N)
-	for s := 0; s < mx.M; s++ {
-		copy(c.req[s], mx.req[s])
-		copy(c.grant[s], mx.grant[s])
-	}
+	c.CopyFrom(mx)
 	return c
+}
+
+// CopyFrom overwrites mx with src's cells.  Dimensions must match; this is
+// the allocation-free alternative to Clone for scratch reuse.
+func (mx *Matrix) CopyFrom(src *Matrix) {
+	if mx.M != src.M || mx.N != src.N {
+		panic(fmt.Sprintf("rag: CopyFrom %dx%d into %dx%d matrix", src.M, src.N, mx.M, mx.N))
+	}
+	for s := 0; s < mx.M; s++ {
+		copy(mx.req[s], src.req[s])
+		copy(mx.grant[s], src.grant[s])
+	}
 }
 
 // Equal reports whether two matrices have identical dimensions and cells.
@@ -198,6 +224,19 @@ func (mx *Matrix) ClearColumn(t int) {
 	}
 }
 
+// ClearColumns zeroes every cell in every column whose bit is set in mask (a
+// packed column set, Words() words): one word-wide AND-NOT sweep per row,
+// the software mirror of the DDU clearing all terminal columns in parallel.
+func (mx *Matrix) ClearColumns(mask []uint64) {
+	for s := 0; s < mx.M; s++ {
+		req, grant := mx.req[s], mx.grant[s]
+		for w := range mask {
+			req[w] &^= mask[w]
+			grant[w] &^= mask[w]
+		}
+	}
+}
+
 // RowSummary returns the row BWO pair (α^r, α^g) of Equation 3 for row s:
 // whether the row contains any request and any grant edge.
 func (mx *Matrix) RowSummary(s int) (anyReq, anyGrant bool) {
@@ -218,15 +257,27 @@ func (mx *Matrix) RowSummary(s int) (anyReq, anyGrant bool) {
 func (mx *Matrix) ColumnSummaries() (anyReq, anyGrant []uint64) {
 	anyReq = make([]uint64, mx.words)
 	anyGrant = make([]uint64, mx.words)
+	mx.ColumnSummariesInto(anyReq, anyGrant)
+	return
+}
+
+// ColumnSummariesInto computes the packed column BWO planes into
+// caller-owned buffers of Words() words each — the allocation-free flavor of
+// ColumnSummaries used by the scratch-based detection path.
+func (mx *Matrix) ColumnSummariesInto(anyReq, anyGrant []uint64) {
+	for w := 0; w < mx.words; w++ {
+		anyReq[w] = 0
+		anyGrant[w] = 0
+	}
 	for s := 0; s < mx.M; s++ {
+		req, grant := mx.req[s], mx.grant[s]
 		for w := 0; w < mx.words; w++ {
-			anyReq[w] |= mx.req[s][w]
-			anyGrant[w] |= mx.grant[s][w]
+			anyReq[w] |= req[w]
+			anyGrant[w] |= grant[w]
 		}
 	}
 	anyReq[mx.words-1] &= mx.lastMask()
 	anyGrant[mx.words-1] &= mx.lastMask()
-	return
 }
 
 // Validate checks the single-unit resource invariant (at most one grant per
@@ -265,23 +316,84 @@ func (mx *Matrix) String() string {
 
 // Graph is the RAG γ_ij as an explicit edge structure with the single-unit
 // resource invariant enforced.  Processes and resources are 0-based indices.
+//
+// Storage is bit-packed in both orientations: reqRows[s] holds the request
+// bits of resource row s over process columns, reqCols[t] the transposed
+// request bits of process t over resource rows, and held[t]/heldAny mirror
+// the grant relation as per-process and summary resource planes.  grantTo
+// remains the single-holder index (the invariant makes a full grant plane
+// per resource redundant).  Queries that walk the graph — HasCycle, Cycle,
+// DeadlockedProcesses — iterate set bits with TrailingZeros and sweep whole
+// word groups, and reuse per-graph scratch buffers so the steady-state query
+// path performs zero allocations.  Graph methods are not safe for concurrent
+// use (true of the mutation API since the seed; the scratch reuse extends
+// that contract to the query methods).
 type Graph struct {
-	m, n    int
-	grantTo []int    // grantTo[s] = process holding q_s, or -1
-	reqs    [][]bool // reqs[s][t]: p_t requests q_s
+	m, n int
+	nw   int // words per resource row (over process columns)
+	mw   int // words per process plane (over resource rows)
+
+	grantTo []int      // grantTo[s] = process holding q_s, or -1
+	reqRows [][]uint64 // bit t of reqRows[s]: p_t requests q_s
+	reqCols [][]uint64 // bit s of reqCols[t]: p_t requests q_s
+	held    [][]uint64 // bit s of held[t]: q_s granted to p_t
+	heldAny []uint64   // bit s: q_s held by some process
+
+	scratch *graphScratch
 }
+
+// dfsFrame is one frame of the iterative wait-for DFS: a process plus the
+// word-iterator position inside its packed request row.
+type dfsFrame struct {
+	proc int32
+	word int32
+	bits uint64
+}
+
+// graphScratch holds the reusable query-path buffers, allocated once on
+// first use and sized to the graph.
+type graphScratch struct {
+	color  []uint8    // DFS three-coloring over processes
+	stack  []dfsFrame // DFS stack (depth ≤ n: every process pushed once)
+	wReq   [][]uint64 // working request rows for terminal reduction
+	wGrant []int      // working holder index
+	colAny []uint64   // OR of working rows: bit t set iff p_t is blocked
+}
+
+const (
+	dfsWhite = 0
+	dfsGray  = 1
+	dfsBlack = 2
+)
 
 // NewGraph returns an empty RAG with m resources and n processes.
 func NewGraph(m, n int) *Graph {
 	if m <= 0 || n <= 0 {
 		panic(fmt.Sprintf("rag: invalid graph size %dx%d", m, n))
 	}
-	g := &Graph{m: m, n: n, grantTo: make([]int, m), reqs: make([][]bool, m)}
+	g := &Graph{m: m, n: n, nw: (n + 63) / 64, mw: (m + 63) / 64}
+	g.grantTo = make([]int, m)
 	for s := range g.grantTo {
 		g.grantTo[s] = -1
-		g.reqs[s] = make([]bool, n)
 	}
+	g.reqRows = newPlane(m, g.nw)
+	g.reqCols = newPlane(n, g.mw)
+	g.held = newPlane(n, g.mw)
+	g.heldAny = make([]uint64, g.mw)
 	return g
+}
+
+func (g *Graph) ensureScratch() *graphScratch {
+	if g.scratch == nil {
+		g.scratch = &graphScratch{
+			color:  make([]uint8, g.n),
+			stack:  make([]dfsFrame, 0, g.n),
+			wReq:   newPlane(g.m, g.nw),
+			wGrant: make([]int, g.m),
+			colAny: make([]uint64, g.nw),
+		}
+	}
+	return g.scratch
 }
 
 // Size returns (resources, processes).
@@ -309,21 +421,23 @@ func (g *Graph) Holder(s int) int {
 func (g *Graph) Requesting(s, t int) bool {
 	g.checkRes(s)
 	g.checkProc(t)
-	return g.reqs[s][t]
+	return g.reqRows[s][t/64]>>(uint(t)%64)&1 == 1
 }
 
 // AddRequest records request edge (p_t, q_s).  Idempotent.
 func (g *Graph) AddRequest(s, t int) {
 	g.checkRes(s)
 	g.checkProc(t)
-	g.reqs[s][t] = true
+	g.reqRows[s][t/64] |= 1 << (uint(t) % 64)
+	g.reqCols[t][s/64] |= 1 << (uint(s) % 64)
 }
 
 // RemoveRequest deletes the request edge (p_t, q_s) if present.
 func (g *Graph) RemoveRequest(s, t int) {
 	g.checkRes(s)
 	g.checkProc(t)
-	g.reqs[s][t] = false
+	g.reqRows[s][t/64] &^= 1 << (uint(t) % 64)
+	g.reqCols[t][s/64] &^= 1 << (uint(s) % 64)
 }
 
 // SetGrant grants q_s to p_t, clearing p_t's request edge for q_s.  It
@@ -335,7 +449,10 @@ func (g *Graph) SetGrant(s, t int) error {
 		return fmt.Errorf("rag: resource q%d already granted to p%d", s+1, h+1)
 	}
 	g.grantTo[s] = t
-	g.reqs[s][t] = false
+	g.held[t][s/64] |= 1 << (uint(s) % 64)
+	g.heldAny[s/64] |= 1 << (uint(s) % 64)
+	g.reqRows[s][t/64] &^= 1 << (uint(t) % 64)
+	g.reqCols[t][s/64] &^= 1 << (uint(s) % 64)
 	return nil
 }
 
@@ -348,6 +465,8 @@ func (g *Graph) Release(s, t int) error {
 		return fmt.Errorf("rag: p%d cannot release q%d held by p%d", t+1, s+1, g.grantTo[s]+1)
 	}
 	g.grantTo[s] = -1
+	g.held[t][s/64] &^= 1 << (uint(s) % 64)
+	g.heldAny[s/64] &^= 1 << (uint(s) % 64)
 	return nil
 }
 
@@ -355,9 +474,11 @@ func (g *Graph) Release(s, t int) error {
 func (g *Graph) Requesters(s int) []int {
 	g.checkRes(s)
 	var out []int
-	for t, r := range g.reqs[s] {
-		if r {
-			out = append(out, t)
+	row := g.reqRows[s]
+	for w, word := range row {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
 	return out
@@ -367,9 +488,10 @@ func (g *Graph) Requesters(s int) []int {
 func (g *Graph) HeldBy(t int) []int {
 	g.checkProc(t)
 	var out []int
-	for s := 0; s < g.m; s++ {
-		if g.grantTo[s] == t {
-			out = append(out, s)
+	for w, word := range g.held[t] {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
 	return out
@@ -379,30 +501,58 @@ func (g *Graph) HeldBy(t int) []int {
 func (g *Graph) RequestedBy(t int) []int {
 	g.checkProc(t)
 	var out []int
-	for s := 0; s < g.m; s++ {
-		if g.reqs[s][t] {
-			out = append(out, s)
+	for w, word := range g.reqCols[t] {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
 	return out
 }
+
+// HeldWords exposes process t's packed held-resource plane (bit s: p_t holds
+// q_s).  The slice aliases graph storage; callers must treat it as
+// read-only.  This is the Banker's word-wise safety-scan fast path.
+func (g *Graph) HeldWords(t int) []uint64 {
+	g.checkProc(t)
+	return g.held[t]
+}
+
+// HeldAnyWords exposes the packed held-resource summary plane (bit s: q_s is
+// held by some process).  Read-only alias, like HeldWords.
+func (g *Graph) HeldAnyWords() []uint64 { return g.heldAny }
+
+// ResWords returns the number of 64-bit words in a resource plane (the
+// length of HeldWords/HeldAnyWords slices).
+func (g *Graph) ResWords() int { return g.mw }
 
 // Matrix converts the graph to its state matrix (Definition 6).  A cell where
 // both a grant and a request would coincide cannot arise because SetGrant
 // clears the holder's request edge.
 func (g *Graph) Matrix() *Matrix {
 	mx := NewMatrix(g.m, g.n)
+	g.MatrixInto(mx)
+	return mx
+}
+
+// MatrixInto writes the graph's state matrix into a caller-owned matrix of
+// matching dimensions — word copies of the packed request rows plus one
+// grant bit per held resource, no allocation.  This is the scratch-reuse
+// path the periodic detection scan runs on.
+func (g *Graph) MatrixInto(mx *Matrix) {
+	if mx.M != g.m || mx.N != g.n {
+		panic(fmt.Sprintf("rag: MatrixInto %dx%d graph into %dx%d matrix", g.m, g.n, mx.M, mx.N))
+	}
 	for s := 0; s < g.m; s++ {
-		for t := 0; t < g.n; t++ {
-			if g.reqs[s][t] {
-				mx.Set(s, t, Request)
-			}
+		copy(mx.req[s], g.reqRows[s])
+		grant := mx.grant[s]
+		for w := range grant {
+			grant[w] = 0
 		}
 		if h := g.grantTo[s]; h != -1 {
-			mx.Set(s, h, Grant)
+			grant[h/64] |= 1 << (uint(h) % 64)
 		}
 	}
-	return mx
 }
 
 // FromMatrix reconstructs a Graph from a matrix, enforcing the single-grant
@@ -428,73 +578,93 @@ func FromMatrix(mx *Matrix) (*Graph, error) {
 	return g, nil
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph.  Scratch buffers are not shared;
+// the clone allocates its own lazily.
 func (g *Graph) Clone() *Graph {
 	c := NewGraph(g.m, g.n)
-	copy(c.grantTo, g.grantTo)
-	for s := 0; s < g.m; s++ {
-		copy(c.reqs[s], g.reqs[s])
-	}
+	c.CopyFrom(g)
 	return c
 }
 
-// HasCycle is the reference deadlock oracle: it reports whether the RAG
-// contains a directed cycle, using iterative DFS over the bipartite digraph
-// (request edge p→q, grant edge q→p).  For the paper's single-unit resource
-// model, deadlock exists iff a cycle exists (the theorem PDDA is proven
-// against in GIT-CC-03-41).
-func (g *Graph) HasCycle() bool {
-	// Node ids: processes 0..n-1, resources n..n+m-1.
-	total := g.n + g.m
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := make([]int, total)
-	// succ returns the successor list of node v.
-	succ := func(v int) []int {
-		var out []int
-		if v < g.n {
-			// process: request edges p -> q
-			for s := 0; s < g.m; s++ {
-				if g.reqs[s][v] {
-					out = append(out, g.n+s)
-				}
+// CopyFrom overwrites g with src's edges.  Dimensions must match; this is
+// the allocation-free alternative to Clone for trial-grant scratch graphs.
+func (g *Graph) CopyFrom(src *Graph) {
+	if g.m != src.m || g.n != src.n {
+		panic(fmt.Sprintf("rag: CopyFrom %dx%d into %dx%d graph", src.m, src.n, g.m, g.n))
+	}
+	copy(g.grantTo, src.grantTo)
+	for s := 0; s < g.m; s++ {
+		copy(g.reqRows[s], src.reqRows[s])
+	}
+	for t := 0; t < g.n; t++ {
+		copy(g.reqCols[t], src.reqCols[t])
+		copy(g.held[t], src.held[t])
+	}
+	copy(g.heldAny, src.heldAny)
+}
+
+// nextWaitHolder advances frame f's bit iterator over the packed request row
+// of process f.proc and returns the holder of the next requested-and-held
+// resource, or -1 when the row is exhausted.  Requests to free resources are
+// skipped: a free resource has no outgoing grant edge, so it cannot lie on a
+// cycle.
+func (g *Graph) nextWaitHolder(f *dfsFrame) int {
+	row := g.reqCols[f.proc]
+	for {
+		for f.bits == 0 {
+			if int(f.word) >= len(row) {
+				return -1
 			}
-		} else {
-			s := v - g.n
-			if h := g.grantTo[s]; h != -1 {
-				out = append(out, h)
-			}
+			f.bits = row[f.word]
+			f.word++
 		}
-		return out
+		s := int(f.word-1)*64 + bits.TrailingZeros64(f.bits)
+		f.bits &= f.bits - 1
+		if h := g.grantTo[s]; h != -1 {
+			return h
+		}
 	}
-	type frame struct {
-		v    int
-		next []int
+}
+
+// HasCycle is the deadlock test: it reports whether the RAG contains a
+// directed cycle.  For the paper's single-unit resource model, deadlock
+// exists iff a cycle exists (the theorem PDDA is proven against in
+// GIT-CC-03-41).
+//
+// The search runs on the process-only wait-for projection (p_a → p_b iff
+// p_a requests a resource p_b holds), which preserves cycles exactly: every
+// bipartite cycle alternates process/resource nodes and each resource has at
+// most one outgoing grant edge.  Successors are enumerated by word-wise
+// TrailingZeros iteration over the packed per-process request rows, and the
+// DFS stack/coloring live in reusable scratch — zero allocations per call.
+// HasCycleRef (ref.go) is the per-cell differential oracle.
+func (g *Graph) HasCycle() bool {
+	sc := g.ensureScratch()
+	color := sc.color
+	for i := range color {
+		color[i] = dfsWhite
 	}
-	for start := 0; start < total; start++ {
-		if color[start] != white {
+	stack := sc.stack[:0]
+	for start := 0; start < g.n; start++ {
+		if color[start] != dfsWhite {
 			continue
 		}
-		stack := []frame{{start, succ(start)}}
-		color[start] = gray
+		color[start] = dfsGray
+		stack = append(stack, dfsFrame{proc: int32(start)})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if len(f.next) == 0 {
-				color[f.v] = black
+			w := g.nextWaitHolder(f)
+			if w < 0 {
+				color[f.proc] = dfsBlack
 				stack = stack[:len(stack)-1]
 				continue
 			}
-			w := f.next[0]
-			f.next = f.next[1:]
 			switch color[w] {
-			case gray:
+			case dfsGray:
 				return true
-			case white:
-				color[w] = gray
-				stack = append(stack, frame{w, succ(w)})
+			case dfsWhite:
+				color[w] = dfsGray
+				stack = append(stack, dfsFrame{proc: int32(w)})
 			}
 		}
 	}
@@ -503,64 +673,49 @@ func (g *Graph) HasCycle() bool {
 
 // Cycle returns a witness cycle as the ordered list of processes on it
 // (p_a holds a resource p_b requests, p_b holds one p_c requests, … back to
-// p_a), or nil when the graph is acyclic.  The search order is fixed, so
-// the witness is deterministic for a given graph — the fuzz campaign uses
-// it for cycle-length histograms and mismatch diagnostics.  Cycle is
-// implemented independently of HasCycle so the two can cross-check each
-// other: one is the oracle, the other the witness extractor.
+// p_a), or nil when the graph is acyclic.  The search order is fixed —
+// processes ascending, each process's requests in ascending resource order —
+// so the witness is deterministic for a given graph and byte-identical to
+// the per-cell CycleRef oracle; the fuzz campaign compares the two on every
+// seed.  Only the returned witness allocates; the acyclic path is
+// allocation-free.
 func (g *Graph) Cycle() []int {
-	// waitsFor[t] lists the holders of resources process t requests,
-	// ascending and deduplicated — the process-only wait-for projection.
-	waitsFor := make([][]int, g.n)
-	for s := 0; s < g.m; s++ {
-		h := g.grantTo[s]
-		if h == -1 {
+	sc := g.ensureScratch()
+	color := sc.color
+	for i := range color {
+		color[i] = dfsWhite
+	}
+	stack := sc.stack[:0]
+	for start := 0; start < g.n; start++ {
+		if color[start] != dfsWhite {
 			continue
 		}
-		// Note t == h is kept: a process requesting a resource it already
-		// holds is the bipartite cycle p→q→p, and HasCycle reports it, so
-		// the witness must be the 1-cycle [p].
-		for t := 0; t < g.n; t++ {
-			if g.reqs[s][t] {
-				waitsFor[t] = append(waitsFor[t], h)
+		color[start] = dfsGray
+		stack = append(stack, dfsFrame{proc: int32(start)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			w := g.nextWaitHolder(f)
+			if w < 0 {
+				color[f.proc] = dfsBlack
+				stack = stack[:len(stack)-1]
+				continue
 			}
-		}
-	}
-	const (
-		white = 0
-		gray  = 1
-		black = 2
-	)
-	color := make([]int, g.n)
-	onStack := make([]int, 0, g.n)
-	var dfs func(v int) []int
-	dfs = func(v int) []int {
-		color[v] = gray
-		onStack = append(onStack, v)
-		for _, w := range waitsFor[v] {
 			switch color[w] {
-			case gray:
-				// Back edge: the cycle is the stack suffix starting at w.
-				for i, u := range onStack {
-					if u == w {
-						return append([]int(nil), onStack[i:]...)
+			case dfsGray:
+				// Back edge: the witness is the stack suffix starting at w's
+				// frame (the DFS path from w back to the requester).
+				for i := range stack {
+					if int(stack[i].proc) == w {
+						out := make([]int, len(stack)-i)
+						for j := i; j < len(stack); j++ {
+							out[j-i] = int(stack[j].proc)
+						}
+						return out
 					}
 				}
-			case white:
-				if c := dfs(w); c != nil {
-					return c
-				}
-			}
-		}
-		color[v] = black
-		onStack = onStack[:len(onStack)-1]
-		return nil
-	}
-	for v := 0; v < g.n; v++ {
-		if color[v] == white {
-			onStack = onStack[:0]
-			if c := dfs(v); c != nil {
-				return c
+			case dfsWhite:
+				color[w] = dfsGray
+				stack = append(stack, dfsFrame{proc: int32(w)})
 			}
 		}
 	}
@@ -570,54 +725,64 @@ func (g *Graph) Cycle() []int {
 // DeadlockedProcesses returns the set of processes on or reachable into a
 // cycle, i.e. processes whose wait can never be satisfied.  Computed by
 // repeatedly discarding processes that are not blocked, and resources whose
-// holders are discarded — the graph-side equivalent of terminal reduction.
+// holders are discarded — the graph-side equivalent of terminal reduction —
+// entirely on packed scratch planes: blockedness of ALL processes is one
+// OR-sweep of the working request rows, and discarding a resource's requests
+// is one word-wide row clear.  Result ascending; allocation-free except for
+// the returned slice.  DeadlockedProcessesRef (ref.go) is the per-cell
+// differential oracle.
 func (g *Graph) DeadlockedProcesses() []int {
-	w := g.Clone()
+	sc := g.ensureScratch()
+	for s := 0; s < g.m; s++ {
+		copy(sc.wReq[s], g.reqRows[s])
+	}
+	copy(sc.wGrant, g.grantTo)
 	for {
 		removed := false
-		for s := 0; s < w.m; s++ {
-			anyReq := false
-			for t := 0; t < w.n; t++ {
-				if w.reqs[s][t] {
-					anyReq = true
-					break
-				}
+		// colAny: bit t set iff p_t still has an outstanding request.
+		for w := range sc.colAny {
+			sc.colAny[w] = 0
+		}
+		for s := 0; s < g.m; s++ {
+			row := sc.wReq[s]
+			for w := range row {
+				sc.colAny[w] |= row[w]
+			}
+		}
+		for s := 0; s < g.m; s++ {
+			if sc.wGrant[s] == -1 {
+				continue
 			}
 			// A granted resource with no requesters does not block anyone:
 			// drop the grant edge.
-			if !anyReq && w.grantTo[s] != -1 {
-				w.grantTo[s] = -1
+			anyReq := uint64(0)
+			for _, w := range sc.wReq[s] {
+				anyReq |= w
+			}
+			if anyReq == 0 {
+				sc.wGrant[s] = -1
 				removed = true
+				continue
 			}
-		}
-		for t := 0; t < w.n; t++ {
-			blocked := false
-			for s := 0; s < w.m; s++ {
-				if w.reqs[s][t] {
-					blocked = true
-					break
-				}
-			}
-			if !blocked {
-				// An unblocked process can eventually release everything it
-				// holds and withdraw: drop its grant edges.
-				for s := 0; s < w.m; s++ {
-					if w.grantTo[s] == t {
-						w.grantTo[s] = -1
-						removed = true
-					}
-				}
+			// An unblocked process can eventually release everything it
+			// holds and withdraw: drop its grant edges.
+			h := sc.wGrant[s]
+			if sc.colAny[h/64]>>(uint(h)%64)&1 == 0 {
+				sc.wGrant[s] = -1
+				removed = true
 			}
 		}
 		// Requests to free resources can be satisfied once granted resources
 		// cycle back; drop request edges to resources held by nobody.
-		for s := 0; s < w.m; s++ {
-			if w.grantTo[s] == -1 {
-				for t := 0; t < w.n; t++ {
-					if w.reqs[s][t] {
-						w.reqs[s][t] = false
-						removed = true
-					}
+		for s := 0; s < g.m; s++ {
+			if sc.wGrant[s] != -1 {
+				continue
+			}
+			row := sc.wReq[s]
+			for w := range row {
+				if row[w] != 0 {
+					row[w] = 0
+					removed = true
 				}
 			}
 		}
@@ -625,13 +790,21 @@ func (g *Graph) DeadlockedProcesses() []int {
 			break
 		}
 	}
+	// Survivors: processes with a remaining request edge, ascending.
+	for w := range sc.colAny {
+		sc.colAny[w] = 0
+	}
+	for s := 0; s < g.m; s++ {
+		row := sc.wReq[s]
+		for w := range row {
+			sc.colAny[w] |= row[w]
+		}
+	}
 	var out []int
-	for t := 0; t < w.n; t++ {
-		for s := 0; s < w.m; s++ {
-			if w.reqs[s][t] {
-				out = append(out, t)
-				break
-			}
+	for w, word := range sc.colAny {
+		for word != 0 {
+			out = append(out, w*64+bits.TrailingZeros64(word))
+			word &= word - 1
 		}
 	}
 	return out
